@@ -1,0 +1,61 @@
+"""A1 -- ablation: two-phase vs plain index all-to-all ([HBJ96], App. A.3).
+
+The index algorithm's bandwidth depends on the largest *single* block
+(up to B P/2 words per round); the two-phase variant pays a fixed
+``P^2 log P`` balancing overhead to depend only on row/column sums B*.
+We measure both on balanced and skewed block patterns: balanced favors
+plain index; heavily skewed favors two-phase -- the crossover the
+paper's Section 8.4 discussion is about.
+"""
+
+import numpy as np
+
+from repro.collectives import CommContext, all_to_all_blocks
+from repro.machine import Machine
+
+from conftest import save_table
+
+P = 32
+rng = np.random.default_rng(31)
+
+
+def run(blocks, method):
+    machine = Machine(P)
+    all_to_all_blocks(CommContext.world(machine), blocks, method=method)
+    rep = machine.report()
+    return rep.critical_words, rep.critical_messages
+
+
+def balanced_blocks(size):
+    return [[rng.standard_normal(size) for _ in range(P)] for _ in range(P)]
+
+
+def skewed_blocks(size):
+    """One source-destination pair gets a giant block, rest tiny."""
+    blocks = [[rng.standard_normal(2) for _ in range(P)] for _ in range(P)]
+    blocks[0][P - 1] = rng.standard_normal(size * P)
+    return blocks
+
+
+def test_ablation_alltoall(benchmark):
+    lines = [
+        f"A1 / all-to-all ablation (P={P})",
+        f"{'pattern':<22} {'index W':>10} {'2phase W':>10} {'index S':>8} {'2phase S':>8}",
+    ]
+    results = {}
+    for name, blocks in (("balanced(16)", balanced_blocks(16)),
+                         ("balanced(256)", balanced_blocks(256)),
+                         ("skewed(256)", skewed_blocks(256))):
+        wi, si = run(blocks, "index")
+        wt, st = run(blocks, "two_phase")
+        results[name] = (wi, wt)
+        lines.append(f"{name:<22} {wi:>10.0f} {wt:>10.0f} {si:>8.0f} {st:>8.0f}")
+    save_table("ablation_alltoall", "\n".join(lines))
+
+    # Skew: the plain index algorithm drags the giant block through
+    # log P hops; two-phase spreads it across the machine.
+    wi, wt = results["skewed(256)"]
+    assert wt < wi, "two-phase must win under skew"
+
+    blocks = skewed_blocks(256)
+    benchmark(lambda: run(blocks, "two_phase"))

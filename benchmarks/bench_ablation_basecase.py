@@ -1,0 +1,46 @@
+"""A3 -- ablation: the recursion threshold b in 1d-caqr-eg.
+
+``b = n`` *is* tsqr; shrinking b buys bandwidth with latency and a
+second-order flop term (Eq. 11's ``n b^2 log P``).  This ablation runs
+the continuum and reports all three metrics plus modeled time on two
+machine profiles -- the concrete version of "tune b to the machine".
+"""
+
+from repro.machine import MACHINE_PROFILES
+from repro.workloads import gaussian, run_qr
+
+from conftest import save_table
+
+M, N, P = 8192, 64, 32
+
+
+def test_ablation_basecase(benchmark):
+    A = gaussian(M, N, seed=3)
+    cluster = MACHINE_PROFILES["cluster"]
+    cloud = MACHINE_PROFILES["cloud"]
+    lines = [
+        f"A3 / base-case threshold sweep, 1d-caqr-eg (m={M}, n={N}, P={P})",
+        f"{'b':>4} {'flops':>12} {'words':>10} {'messages':>9} {'t(cluster)':>12} {'t(cloud)':>12}",
+    ]
+    rows = []
+    for b in (64, 32, 16, 8, 4, 2):
+        r = run_qr("caqr1d", A, P=P, b=b, validate=False)
+        rep = r.report
+        rows.append((b, rep))
+        lines.append(
+            f"{b:>4} {rep.critical_flops:>12.0f} {rep.critical_words:>10.0f} "
+            f"{rep.critical_messages:>9.0f} {rep.time_under(cluster):>12.3e} "
+            f"{rep.time_under(cloud):>12.3e}"
+        )
+    save_table("ablation_basecase", "\n".join(lines))
+
+    # Monotone tradeoff endpoints.
+    first, last = rows[0][1], rows[-1][1]
+    assert last.critical_words < first.critical_words
+    assert last.critical_messages > first.critical_messages
+    # The message-expensive cloud profile must not prefer the deepest recursion.
+    best_cloud = min(rows, key=lambda t: t[1].time_under(cloud))[0]
+    best_cluster = min(rows, key=lambda t: t[1].time_under(cluster))[0]
+    assert best_cloud >= best_cluster
+
+    benchmark(lambda: run_qr("caqr1d", A, P=P, b=8, validate=False))

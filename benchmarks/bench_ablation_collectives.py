@@ -1,0 +1,62 @@
+"""A2 -- ablation: bidirectional exchange vs binomial trees (App. A.2).
+
+The log P bandwidth factor that 1d-caqr-eg exists to remove comes from
+binomial-tree broadcast/reduce.  This ablation sweeps the block size B
+at fixed P and finds the crossover: binomial wins for tiny blocks
+(fewer messages), bidirectional wins once B >> P.
+"""
+
+import numpy as np
+
+from repro.collectives import (
+    CommContext,
+    broadcast_bidirectional,
+    broadcast_binomial,
+    reduce_bidirectional,
+    reduce_binomial,
+)
+from repro.machine import CostParams, Machine
+
+from conftest import save_table
+
+P = 32
+#: A machine where a word costs what a message costs /64: both terms matter.
+PARAMS = CostParams(alpha=64.0, beta=1.0, gamma=0.0, name="crossover")
+
+
+def run(fn):
+    machine = Machine(P, params=PARAMS)
+    fn(CommContext.world(machine))
+    rep = machine.report()
+    return rep.critical_words, rep.critical_messages, rep.modeled_time
+
+
+def test_ablation_collectives(benchmark):
+    rng = np.random.default_rng(5)
+    lines = [
+        f"A2 / broadcast + reduce: binomial vs bidirectional (P={P}, alpha/beta={PARAMS.alpha:.0f})",
+        f"{'B':>7} {'binom W':>9} {'bidir W':>9} {'binom S':>8} {'bidir S':>8} {'binom t':>9} {'bidir t':>9}",
+    ]
+    crossed = False
+    for B in (8, 64, 512, 4096, 32768):
+        v = rng.standard_normal(B)
+        wb, sb, tb = run(lambda ctx: broadcast_binomial(ctx, 0, v))
+        wx, sx, tx = run(lambda ctx: broadcast_bidirectional(ctx, 0, v))
+        lines.append(f"{B:>7} {wb:>9.0f} {wx:>9.0f} {sb:>8.0f} {sx:>8.0f} {tb:>9.0f} {tx:>9.0f}")
+        if tx < tb:
+            crossed = True
+    save_table("ablation_collectives", "\n".join(lines))
+    assert crossed, "bidirectional must win for large blocks"
+
+    # Bandwidth comparison at large B: the log P factor is real.
+    big = rng.standard_normal(32768)
+    wb, _, _ = run(lambda ctx: broadcast_binomial(ctx, 0, big))
+    wx, _, _ = run(lambda ctx: broadcast_bidirectional(ctx, 0, big))
+    assert wb > 2.0 * wx
+
+    contribs = [rng.standard_normal(8192) for _ in range(P)]
+    wrb, _, _ = run(lambda ctx: reduce_binomial(ctx, 0, contribs))
+    wrx, _, _ = run(lambda ctx: reduce_bidirectional(ctx, 0, contribs))
+    assert wrb > 2.0 * wrx
+
+    benchmark(lambda: run(lambda ctx: broadcast_bidirectional(ctx, 0, big)))

@@ -1,0 +1,64 @@
+"""A5 -- ablation: recursive vs hybrid vs right-looking qr-eg variants.
+
+Sections 2.4 and 8.4 describe two variants the paper's analysis omits:
+the Elmroth-Gustavson iterative/recursive hybrid (constant-factor flop
+savings) and the right-looking variant that never forms superdiagonal
+T blocks (saves T-assembly arithmetic but "restricts the available
+parallelism").  This ablation measures all three sequentially, and the
+distributed right-looking variant against recursive 1d-caqr-eg.
+"""
+
+from repro.dist import BlockRowLayout, DistMatrix
+from repro.machine import Machine
+from repro.qr import (
+    qr_1d_caqr_eg,
+    qr_1d_caqr_eg_rightlooking,
+    qr_eg_hybrid,
+    qr_eg_rightlooking,
+    qr_eg_sequential,
+)
+from repro.util import balanced_sizes
+from repro.workloads import gaussian
+
+from conftest import save_table
+
+
+def test_ablation_variants(benchmark):
+    A = gaussian(256, 128, seed=1)
+    lines = [
+        "A5 / qr-eg variant ablation (sequential, m=256, n=128)",
+        f"{'variant':<24} {'flops':>12}",
+    ]
+    seq_flops = {}
+    for name, fn in (
+        ("recursive(b=8)", lambda m: qr_eg_sequential(m, 0, A, 8)),
+        ("hybrid(nb=32,b=8)", lambda m: qr_eg_hybrid(m, 0, A, nb=32, b=8)),
+        ("rightlooking(nb=32,b=8)", lambda m: qr_eg_rightlooking(m, 0, A, nb=32, b=8)),
+    ):
+        machine = Machine(1)
+        fn(machine)
+        seq_flops[name] = machine.report().critical_flops
+        lines.append(f"{name:<24} {seq_flops[name]:>12.0f}")
+
+    m, n, P = 2048, 64, 16
+    B = gaussian(m, n, seed=2)
+    lines.append("")
+    lines.append(f"distributed (m={m}, n={n}, P={P})")
+    lines.append(f"{'variant':<24} {'flops':>12} {'words':>10} {'messages':>10}")
+    lay = BlockRowLayout(balanced_sizes(m, P))
+    m1 = Machine(P)
+    qr_1d_caqr_eg(DistMatrix.from_global(m1, B, lay), 0, b=16)
+    m2 = Machine(P)
+    qr_1d_caqr_eg_rightlooking(DistMatrix.from_global(m2, B, lay), 0, nb=16)
+    for name, mach in (("recursive caqr-eg(b=16)", m1), ("rightlooking(nb=16)", m2)):
+        rep = mach.report()
+        lines.append(
+            f"{name:<24} {rep.critical_flops:>12.0f} {rep.critical_words:>10.0f} "
+            f"{rep.critical_messages:>10.0f}"
+        )
+    save_table("ablation_variants", "\n".join(lines))
+
+    # Right-looking avoids superdiagonal-T arithmetic: never more flops.
+    assert seq_flops["rightlooking(nb=32,b=8)"] <= seq_flops["recursive(b=8)"]
+
+    benchmark(lambda: qr_eg_hybrid(Machine(1), 0, A, nb=32, b=8))

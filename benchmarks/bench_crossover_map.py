@@ -1,0 +1,62 @@
+"""F6 -- crossover map: best algorithm across the (alpha, beta) plane.
+
+The paper's closing claim is that the knobs let one algorithm family
+serve machines with different communication costs.  This bench measures
+every algorithm/parameter once, then sweeps a grid of machine
+parameters and prints which candidate minimizes modeled time in each
+cell -- an empirical phase diagram of the tradeoff space.
+
+Tall-skinny candidates: d-house-1d, tsqr, 1d-caqr-eg(eps in {1/2, 1}).
+The expected map: d-house never wins; tsqr wins the latency-expensive
+corner; larger eps wins as bandwidth gets expensive.
+"""
+
+import numpy as np
+
+from repro.machine import CostParams
+from repro.workloads import gaussian, run_qr
+
+from conftest import save_table
+
+M, N, P = 8192, 64, 32
+ALPHAS = (1e-6, 1e-5, 1e-4, 1e-3)
+BETAS = (1e-10, 1e-9, 1e-8, 1e-7)
+GAMMA = 1e-10
+
+
+def test_crossover_map(benchmark):
+    A = gaussian(M, N, seed=29)
+    candidates = {}
+    for name, alg, kw in (
+        ("house1d", "house1d", {}),
+        ("tsqr", "caqr1d", {"b": N}),
+        ("eg(e=.5)", "caqr1d", {"eps": 0.5}),
+        ("eg(e=1)", "caqr1d", {"eps": 1.0}),
+    ):
+        r = run_qr(alg, A, P=P, validate=False, **kw)
+        candidates[name] = r.report
+
+    width = max(len(k) for k in candidates) + 2
+    lines = [
+        f"F6 / crossover map: best tall-skinny algorithm (m={M}, n={N}, P={P}, gamma={GAMMA:g})",
+        "rows: alpha (message latency, s); cols: beta (s/word)",
+        " " * 10 + "".join(f"{b:>{width}.0e}" for b in BETAS),
+    ]
+    winners = set()
+    for a in ALPHAS:
+        row = [f"{a:>10.0e}"]
+        for b in BETAS:
+            params = CostParams(alpha=a, beta=b, gamma=GAMMA)
+            best = min(candidates, key=lambda k: candidates[k].time_under(params))
+            winners.add(best)
+            row.append(f"{best:>{width}}")
+        lines.append("".join(row))
+    save_table("crossover_map", "\n".join(lines))
+
+    # The paper's pitch: the map is not constant, and d-house never wins.
+    assert len(winners) >= 2, winners
+    assert "house1d" not in winners
+
+    benchmark(lambda: min(
+        candidates, key=lambda k: candidates[k].time_under(CostParams(1e-5, 1e-9, GAMMA))
+    ))

@@ -1,0 +1,56 @@
+"""F1 -- the Eq. 11 tradeoff curve: 1d-caqr-eg words vs messages over b.
+
+The paper renders this tradeoff as Equation 11; we sweep the threshold
+``b`` from ``n`` (tsqr) down and print the (words, messages) series --
+the bandwidth falls from ``n^2 log P`` toward ``n^2`` while latency
+rises from ``log P`` toward ``(n/b) log P``.  Also reports the
+bandwidth-latency product against the paper's conjectured
+``Omega(n^2)`` (Section 8.3).
+"""
+
+from repro.analysis import SweepPoint, bandwidth_latency_product_bound, tradeoff_monotone
+from repro.workloads import gaussian, run_qr
+
+from conftest import save_table
+
+M, N, P = 8192, 64, 32
+BS = (64, 32, 16, 8, 4)
+
+
+def sweep():
+    A = gaussian(M, N, seed=11)
+    pts = []
+    for b in BS:
+        r = run_qr("caqr1d", A, P=P, b=b, validate=False)
+        pts.append(
+            SweepPoint(
+                knob=b,
+                flops=r.report.critical_flops,
+                words=r.report.critical_words,
+                messages=r.report.critical_messages,
+            )
+        )
+    return pts
+
+
+def test_tradeoff_1d(benchmark):
+    pts = sweep()
+    n2 = bandwidth_latency_product_bound(N)
+    lines = [
+        f"F1 / Eq. 11 tradeoff: 1d-caqr-eg b-sweep (m={M}, n={N}, P={P})",
+        f"{'b':>6} {'words':>12} {'messages':>10} {'W*S':>14} {'W*S / n^2':>10}",
+    ]
+    for p in pts:
+        lines.append(
+            f"{int(p.knob):>6} {p.words:>12.0f} {p.messages:>10.0f} "
+            f"{p.bw_latency_product:>14.0f} {p.bw_latency_product / n2:>10.1f}"
+        )
+    save_table("fig_tradeoff_1d", "\n".join(lines))
+
+    ordered = sorted(pts, key=lambda p: -p.knob)  # b=n first
+    assert tradeoff_monotone(ordered, tol=1.10), [(p.knob, p.words, p.messages) for p in pts]
+    # The conjecture: W*S never drops below n^2.
+    assert all(p.bw_latency_product >= n2 for p in pts)
+
+    A = gaussian(M, N, seed=11)
+    benchmark(lambda: run_qr("caqr1d", A, P=P, b=16, validate=False))

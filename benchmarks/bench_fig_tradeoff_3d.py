@@ -1,0 +1,85 @@
+"""F2 -- the Theorem 1 / Eq. 13 tradeoff: 3d-caqr-eg over delta.
+
+Sweeps ``delta`` and reports measured critical paths plus a *phase
+decomposition* of the word volume:
+
+* ``other``  -- base-case traffic (group gathers + 1d-caqr-eg): the
+  ``n^2/(nP/m)^delta`` leading term of Theorem 1 lives here, and it
+  must fall as delta grows;
+* ``dmm``    -- all-gathers/reduce-scatters inside the six 3D
+  multiplications (the ``(mn^2/P)^{2/3}`` term);
+* ``alltoall`` -- layout <-> brick redistributions: Eq. 13's additive
+  ``W`` term, which the paper's Section 8.4 names as the algorithm's
+  limiting overhead.  At simulation scales (Eq. 2 badly violated) it
+  dominates the total -- we report it separately precisely to keep the
+  leading-term tradeoff visible, and EXPERIMENTS.md discusses it.
+
+Note the knob granularity: ``b`` only acts through ``ceil(log2(n/b))``
+(halving splits), so nearby deltas can coincide; the sweep uses deltas
+that map to distinct recursion depths.  ``delta = 0`` degenerates to a
+single base case, which for square matrices means ``P* = 1``: no
+parallelism at all -- visible in its critical flops.
+"""
+
+from repro.analysis import cost_theorem1
+from repro.machine import MACHINE_PROFILES
+from repro.workloads import gaussian, run_qr
+
+from conftest import save_table
+
+M = N = 256
+P = 8
+DELTAS = (0.0, 1.0 / 3.0, 0.5, 1.0)
+
+
+def sweep():
+    A = gaussian(M, N, seed=13)
+    out = []
+    for delta in DELTAS:
+        r = run_qr("caqr3d", A, P=P, delta=delta, validate=False)
+        out.append((delta, r))
+    return out
+
+
+def test_tradeoff_3d(benchmark):
+    runs = sweep()
+    lines = [
+        f"F2 / Thm 1 tradeoff: 3d-caqr-eg delta-sweep (m=n={N}, P={P})",
+        f"{'delta':>6} {'b':>4} {'crit flops':>11} {'crit words':>11} {'crit msgs':>10} "
+        f"{'vol other':>10} {'vol dmm':>9} {'vol a2a':>10} {'thry words':>11} {'thry msgs':>10}",
+    ]
+    for delta, r in runs:
+        ph = r.words_by_phase()
+        pred = cost_theorem1(M, N, P, delta)
+        lines.append(
+            f"{delta:>6.3f} {r.params['b']:>4} {r.report.critical_flops:>11.0f} "
+            f"{r.report.critical_words:>11.0f} {r.report.critical_messages:>10.0f} "
+            f"{ph['other']:>10.0f} {ph['dmm']:>9.0f} {ph['alltoall']:>10.0f} "
+            f"{pred['words']:>11.0f} {pred['messages']:>10.1f}"
+        )
+    # Machine preference across the sweep.
+    from repro.analysis import SweepPoint, best_for_machine
+
+    pts = [
+        SweepPoint(d, r.report.critical_flops, r.report.critical_words, r.report.critical_messages)
+        for d, r in runs
+    ]
+    for prof in ("latency_bound", "bandwidth_bound", "cluster"):
+        best = best_for_machine(pts, MACHINE_PROFILES[prof])
+        lines.append(f"best delta on {prof:<16}: {best.knob:.3f}")
+    save_table("fig_tradeoff_3d", "\n".join(lines))
+
+    by_delta = dict(runs)
+    # Messages rise with delta (deeper recursion, smaller b*).
+    assert by_delta[1.0].report.critical_messages > by_delta[0.0].report.critical_messages
+    # The Theorem 1 leading term (base-case traffic) falls with delta.
+    assert by_delta[1.0].words_by_phase()["other"] < by_delta[0.0].words_by_phase()["other"]
+    # delta=0 on a square matrix sequentializes: recursion must cut flops.
+    assert by_delta[0.5].report.critical_flops < 0.5 * by_delta[0.0].report.critical_flops
+    # The latency-bound machine prefers a smaller delta than bandwidth-bound.
+    lat = best_for_machine(pts, MACHINE_PROFILES["latency_bound"]).knob
+    bw = best_for_machine(pts, MACHINE_PROFILES["bandwidth_bound"]).knob
+    assert lat <= bw + 1e-9
+
+    A = gaussian(M, N, seed=13)
+    benchmark(lambda: run_qr("caqr3d", A, P=P, delta=0.5, validate=False))

@@ -1,0 +1,56 @@
+"""F5 -- Section 8.3: measured costs as multiples of the lower bounds.
+
+Prints, for each algorithm in its natural regime, measured critical
+paths divided by the [DGHL12]/[BCD+14] lower bounds.  The paper's
+narrative to reproduce: tsqr misses the tall-skinny bandwidth and
+latency bounds by Theta(log P); 1d-caqr-eg at eps=1 attains the
+bandwidth bound (ratio ~constant); d-house misses latency by Theta(n);
+3d-caqr-eg at delta=2/3 tracks the square-ish bandwidth bound.
+"""
+
+from repro.analysis import optimality_ratios, squarish_bounds, tall_skinny_bounds
+from repro.workloads import gaussian, run_qr
+
+from conftest import save_table
+
+
+def test_lower_bounds(benchmark):
+    lines = ["F5 / Section 8.3: measured / lower-bound ratios"]
+
+    # Tall-skinny regime.
+    m, n, P = 8192, 64, 32
+    A = gaussian(m, n, seed=23)
+    ts = tall_skinny_bounds(m, n, P)
+    lines.append(f"tall-skinny m={m} n={n} P={P}  (bounds: W={ts['words']:.0f}, S={ts['messages']:.0f})")
+    lines.append(f"{'algorithm':<14} {'F-ratio':>8} {'W-ratio':>8} {'S-ratio':>8}")
+    ts_ratios = {}
+    for alg, kw in (("house1d", {}), ("tsqr", {}), ("caqr1d", {"eps": 1.0})):
+        r = run_qr(alg, A, P=P, validate=False, **kw)
+        ratios = optimality_ratios(
+            {"flops": r.report.critical_flops, "words": r.report.critical_words,
+             "messages": r.report.critical_messages}, ts)
+        ts_ratios[alg] = ratios
+        lines.append(f"{alg:<14} {ratios['flops']:>8.1f} {ratios['words']:>8.1f} {ratios['messages']:>8.1f}")
+
+    # Square-ish regime.
+    n2 = 128
+    P2 = 16
+    B = gaussian(n2, n2, seed=24)
+    sq = squarish_bounds(n2, n2, P2)
+    lines.append(f"square-ish m=n={n2} P={P2}  (bounds: W={sq['words']:.0f}, S={sq['messages']:.1f})")
+    for alg, kw in (("house2d", {"bb": 2}), ("caqr2d", {"bb": 16}),
+                    ("caqr3d", {"delta": 2.0 / 3.0})):
+        r = run_qr(alg, B, P=P2, validate=False, **kw)
+        ratios = optimality_ratios(
+            {"flops": r.report.critical_flops, "words": r.report.critical_words,
+             "messages": r.report.critical_messages}, sq)
+        lines.append(f"{alg:<14} {ratios['flops']:>8.1f} {ratios['words']:>8.1f} {ratios['messages']:>8.1f}")
+
+    save_table("lower_bounds", "\n".join(lines))
+
+    # 1d-caqr-eg must sit closer to the bandwidth bound than tsqr does.
+    assert ts_ratios["caqr1d"]["words"] < ts_ratios["tsqr"]["words"]
+    # And d-house must miss the latency bound by a much larger factor.
+    assert ts_ratios["house1d"]["messages"] > 10 * ts_ratios["tsqr"]["messages"]
+
+    benchmark(lambda: run_qr("tsqr", A, P=P, validate=False))

@@ -1,0 +1,74 @@
+"""T1 -- Table 1: measured collective costs vs the paper's bounds.
+
+For each of the eight collectives, runs the implementation on random
+blocks and reports measured critical-path (flops, words, messages) next
+to the Table 1 bound, as measured/bound ratios.  Flat, small ratios
+across P certify the implementations match the claimed shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    CommContext,
+    all_gather,
+    all_reduce,
+    all_to_all_blocks,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.collectives.bounds import TABLE1
+from repro.machine import Machine
+
+from conftest import save_table
+
+B = 256
+PS = (4, 8, 16, 32)
+rng = np.random.default_rng(0)
+
+
+def measure(P, fn):
+    machine = Machine(P)
+    fn(CommContext.world(machine))
+    rep = machine.report()
+    return rep.critical_flops, rep.critical_words, rep.critical_messages
+
+
+def collective_runs(P):
+    blocks = [rng.standard_normal(B) for _ in range(P)]
+    contribs = [rng.standard_normal(B) for _ in range(P)]
+    per_pair = [[rng.standard_normal(B) for _ in range(P)] for _ in range(P)]
+    return {
+        "scatter": lambda ctx: scatter(ctx, 0, blocks),
+        "gather": lambda ctx: gather(ctx, 0, contribs),
+        "broadcast": lambda ctx: broadcast(ctx, 0, contribs[0]),
+        "reduce": lambda ctx: reduce(ctx, 0, contribs),
+        "all_gather": lambda ctx: all_gather(ctx, blocks),
+        "all_reduce": lambda ctx: all_reduce(ctx, contribs),
+        "reduce_scatter": lambda ctx: reduce_scatter(ctx, per_pair),
+        "all_to_all": lambda ctx: all_to_all_blocks(ctx, per_pair),
+    }
+
+
+def test_table1(benchmark):
+    lines = [
+        "T1 / Table 1: measured collective critical paths vs bounds "
+        f"(block B={B} words; ratios = measured/bound)",
+        f"{'collective':<16} " + " ".join(f"{'P=' + str(P):>18}" for P in PS),
+        f"{'':<16} " + " ".join(f"{'W-ratio  S-ratio':>18}" for _ in PS),
+    ]
+    for name in TABLE1:
+        cells = []
+        for P in PS:
+            f, w, s = measure(P, collective_runs(P)[name])
+            bound = TABLE1[name](P, B)
+            wr = w / max(bound["words"], 1)
+            sr = s / max(bound["messages"], 1)
+            cells.append(f"{wr:>8.2f} {sr:>8.2f}")
+        lines.append(f"{name:<16} " + " ".join(f"{c:>18}" for c in cells))
+    save_table("table1_collectives", "\n".join(lines))
+
+    benchmark(lambda: measure(16, collective_runs(16)["all_to_all"]))

@@ -1,0 +1,63 @@
+"""T3 -- Table 3: tall-skinny comparison (d-house, tsqr, 1d-caqr-eg).
+
+The paper's Table 3 claims, for ``m/n = Omega(P)``:
+
+    algorithm      #flops              #words            #messages
+    d-house-1d     mn^2/P              n^2 log P         n log P
+    tsqr           mn^2/P + n^3 log P  n^2 log P         log P
+    1d-caqr-eg     (eps sweep)         n^2 (log P)^{1-e} (log P)^{1+e}
+
+We run all three on the same matrix and print measured critical paths
+next to the predictions.  The shape to check: d-house's messages are
+*linear in n*; tsqr fixes latency but keeps the log P bandwidth factor;
+1d-caqr-eg at eps=1 removes it at polylog latency cost.
+"""
+
+from repro.analysis import cost_caqr1d_eps, cost_house1d, cost_tsqr
+from repro.workloads import format_run_table, gaussian, run_qr
+
+from conftest import save_table
+
+M, N, P = 4096, 64, 16
+
+
+def rows():
+    A = gaussian(M, N, seed=42)
+    out = []
+    for alg, kw, pred in (
+        ("house1d", {}, cost_house1d(M, N, P)),
+        ("tsqr", {}, cost_tsqr(M, N, P)),
+        ("caqr1d", {"eps": 0.0}, cost_caqr1d_eps(M, N, P, 0.0)),
+        ("caqr1d", {"eps": 0.5}, cost_caqr1d_eps(M, N, P, 0.5)),
+        ("caqr1d", {"eps": 1.0}, cost_caqr1d_eps(M, N, P, 1.0)),
+    ):
+        r = run_qr(alg, A, P=P, validate=True, **kw)
+        row = r.row()
+        row["pred_words"] = pred["words"]
+        row["pred_messages"] = pred["messages"]
+        out.append(row)
+    return out
+
+
+def test_table3(benchmark):
+    data = rows()
+    txt = format_run_table(
+        data,
+        columns=["algorithm", "eps", "m", "n", "P", "flops", "words", "pred_words",
+                 "messages", "pred_messages", "residual"],
+        title=f"T3 / Table 3: tall-skinny comparison (m={M}, n={N}, P={P})",
+    )
+    # Shape assertions -- who wins on what, per the paper.
+    by = {}
+    for r in data:
+        by[(r["algorithm"], r.get("eps"))] = r
+    house = by[("house1d", None)]
+    tsqr_r = by[("tsqr", None)]
+    eg1 = by[("caqr1d", 1.0)]
+    assert tsqr_r["messages"] < house["messages"] / 10, "tsqr must crush d-house latency"
+    assert eg1["words"] < tsqr_r["words"], "eps=1 must cut tsqr bandwidth"
+    assert eg1["messages"] > tsqr_r["messages"], "...at a latency price"
+    save_table("table3_tallskinny", txt)
+
+    A = gaussian(M, N, seed=42)
+    benchmark(lambda: run_qr("caqr1d", A, P=P, eps=1.0, validate=False))

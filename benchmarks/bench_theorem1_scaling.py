@@ -1,0 +1,50 @@
+"""F4 -- Theorem 1 scaling: measured exponents of 3d-caqr-eg.
+
+Sweeps P and n on square matrices and fits the measured critical-path
+slopes.  Theorem 1 predicts ``F ~ mn^2/P`` and, for fixed delta and
+square matrices, ``W ~ n^2/P^delta`` growing like ``n^{2-delta}`` in n
+at fixed P (aspect ``nP/m = P``).
+"""
+
+from repro.analysis import fit_exponent
+from repro.workloads import gaussian, run_qr
+
+from conftest import save_table
+
+PS = (2, 4, 8, 16)
+NS = (32, 64, 128)
+
+
+def test_theorem1_scaling(benchmark):
+    n = 64
+    A = gaussian(n, n, seed=19)
+    p_rows = []
+    for P in PS:
+        r = run_qr("caqr3d", A, P=P, delta=0.5, validate=False)
+        p_rows.append((P, r.report.critical_flops, r.report.critical_words,
+                       r.report.critical_messages))
+    slope_f = fit_exponent(PS, [r[1] for r in p_rows])
+
+    n_rows = []
+    for n_ in NS:
+        r = run_qr("caqr3d", gaussian(n_, n_, seed=20), P=8, delta=0.5, validate=False)
+        n_rows.append((n_, r.report.critical_words))
+    slope_wn = fit_exponent(NS, [r[1] for r in n_rows])
+
+    lines = [
+        f"F4 / Theorem 1 scaling, 3d-caqr-eg delta=1/2 (square matrices)",
+        f"{'P':>4} {'flops':>12} {'words':>10} {'messages':>10}   (n={n})",
+    ]
+    lines += [f"{p:>4} {f:>12.0f} {w:>10.0f} {s:>10.0f}" for p, f, w, s in p_rows]
+    lines.append(f"fitted flops-vs-P slope : {slope_f:+.2f}   (theory -1)")
+    lines.append(
+        f"fitted words-vs-n slope : {slope_wn:+.2f}   (theory +{2 - 0.5:.1f} for the "
+        "leading term; the mn/P log-factor all-to-all terms scale like n^2 at "
+        "fixed P and pull the total toward +2 at this scale)"
+    )
+    save_table("theorem1_scaling", "\n".join(lines))
+
+    assert -2.0 <= slope_f <= -0.4
+    assert slope_wn <= 2.5
+
+    benchmark(lambda: run_qr("caqr3d", A, P=8, delta=0.5, validate=False))

@@ -1,0 +1,50 @@
+"""F3 -- Theorem 2 scaling: measured exponents of 1d-caqr-eg at eps=1.
+
+Sweeps P (fixed m, n) and n (fixed P, aspect) and fits log-log slopes
+of the measured critical paths.  Theorem 2 predicts
+``F ~ mn^2/P`` (slope -1 in P), ``W ~ n^2`` (slope 0 in P, 2 in n),
+``S ~ (log P)^2`` (far sublinear in P).
+"""
+
+from repro.analysis import fit_exponent
+from repro.workloads import gaussian, run_qr
+
+from conftest import save_table
+
+PS = (4, 8, 16, 32)
+NS = (16, 32, 64)
+
+
+def test_theorem2_scaling(benchmark):
+    m, n = 8192, 32
+    A = gaussian(m, n, seed=17)
+    p_rows = []
+    for P in PS:
+        r = run_qr("caqr1d", A, P=P, eps=1.0, validate=False)
+        p_rows.append((P, r.report.critical_flops, r.report.critical_words,
+                       r.report.critical_messages))
+    slope_f = fit_exponent(PS, [r[1] for r in p_rows])
+    slope_w = fit_exponent(PS, [r[2] for r in p_rows])
+
+    n_rows = []
+    P = 16
+    for n_ in NS:
+        r = run_qr("caqr1d", gaussian(64 * n_, n_, seed=18), P=P, eps=1.0, validate=False)
+        n_rows.append((n_, r.report.critical_words))
+    slope_wn = fit_exponent(NS, [r[1] for r in n_rows])
+
+    lines = [
+        f"F3 / Theorem 2 scaling, 1d-caqr-eg eps=1 (m={m}, n={n})",
+        f"{'P':>4} {'flops':>12} {'words':>10} {'messages':>10}",
+    ]
+    lines += [f"{p:>4} {f:>12.0f} {w:>10.0f} {s:>10.0f}" for p, f, w, s in p_rows]
+    lines.append(f"fitted flops-vs-P slope   : {slope_f:+.2f}   (theory -1)")
+    lines.append(f"fitted words-vs-P slope   : {slope_w:+.2f}   (theory  0)")
+    lines.append(f"fitted words-vs-n slope   : {slope_wn:+.2f}   (theory +2)")
+    save_table("theorem2_scaling", "\n".join(lines))
+
+    assert -1.6 <= slope_f <= -0.6
+    assert -0.4 <= slope_w <= 0.5
+    assert 1.6 <= slope_wn <= 2.4
+
+    benchmark(lambda: run_qr("caqr1d", A, P=16, eps=1.0, validate=False))

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md section 4).  Results are printed and also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them
+verbatim; the pytest-benchmark fixture times the core computation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(name: str, text: str) -> None:
+    """Persist a formatted result table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

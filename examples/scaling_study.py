@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Strong-scaling study across all six algorithms.
+
+Fixes the problem and grows the machine, reporting per-algorithm
+critical-path costs and the modeled speedup on a realistic cluster
+profile.  Shows where each algorithm stops scaling -- d-house-1d's
+latency wall, tsqr's bandwidth log factor, and the all-to-all overhead
+3d-caqr-eg pays at small scale.
+
+    python examples/scaling_study.py
+"""
+
+from repro.machine import MACHINE_PROFILES
+from repro.workloads import gaussian, run_qr
+
+CLUSTER = MACHINE_PROFILES["cluster"]
+
+
+def study(title, alg, A, Ps, **kw):
+    print(f"--- {alg} on {A.shape} ({title}) ---")
+    print(f"{'P':>4} {'flops':>12} {'words':>10} {'messages':>10} "
+          f"{'t(cluster)':>12} {'speedup':>8}")
+    t1 = None
+    for P in Ps:
+        r = run_qr(alg, A, P=P, validate=False, **kw)
+        t = r.report.time_under(CLUSTER)
+        if t1 is None:
+            t1 = t
+        print(f"{P:>4} {r.report.critical_flops:>12.0f} {r.report.critical_words:>10.0f} "
+              f"{r.report.critical_messages:>10.0f} {t:>12.3e} {t1 / t:>8.2f}")
+    print()
+
+
+def main() -> None:
+    tall = gaussian(8192, 32, seed=4)
+    for alg in ("house1d", "tsqr", "caqr1d"):
+        study("tall-skinny", alg, tall, (1, 2, 4, 8, 16, 32))
+
+    square = gaussian(192, 96, seed=5)
+    study("square-ish", "house2d", square, (1, 4, 16), bb=4)
+    study("square-ish", "caqr2d", square, (1, 4, 16))
+    study("square-ish", "caqr3d", square, (1, 4, 16), delta=0.5)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro: reproduction of "A 3D Parallel Algorithm for QR Decomposition".
+
+Ballard, Demmel, Grigori, Jacquelin, Knight -- SPAA 2018
+(arXiv:1805.05278).  The library implements the paper's algorithms
+(TSQR, 1D-CAQR-EG, 3D-CAQR-EG) and baselines (1D/2D Householder, CAQR)
+on a simulated distributed-memory machine that meters the paper's exact
+cost model: #operations, #words, and #messages along critical paths.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Machine, DistMatrix, CyclicRowLayout, qr_3d_caqr_eg
+
+    A = np.random.default_rng(0).standard_normal((512, 64))
+    machine = Machine(P=16)
+    dA = DistMatrix.from_global(machine, A, CyclicRowLayout(512, 16))
+    result = qr_3d_caqr_eg(dA, delta=0.5)
+    print(machine.report())          # critical-path F / W / S
+
+Or use the one-call harness::
+
+    from repro.workloads import run_qr
+    print(run_qr("caqr3d", A, P=16, delta=2/3).row())
+"""
+
+from repro.collectives import CommContext
+from repro.dist import (
+    BlockRowLayout,
+    CyclicRowLayout,
+    DistMatrix,
+    ExplicitRowLayout,
+    redistribute_rows,
+)
+from repro.dist.blockcyclic import BlockCyclic2D
+from repro.machine import (
+    MACHINE_PROFILES,
+    CostParams,
+    CostReport,
+    Machine,
+)
+from repro.qr import (
+    qr_1d_caqr_eg,
+    qr_3d_caqr_eg,
+    qr_caqr_2d,
+    qr_eg_sequential,
+    qr_house_1d,
+    qr_house_2d,
+    tsqr,
+    validate_result,
+)
+from repro.workloads import run_qr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockCyclic2D",
+    "BlockRowLayout",
+    "CommContext",
+    "CostParams",
+    "CostReport",
+    "CyclicRowLayout",
+    "DistMatrix",
+    "ExplicitRowLayout",
+    "MACHINE_PROFILES",
+    "Machine",
+    "__version__",
+    "qr_1d_caqr_eg",
+    "qr_3d_caqr_eg",
+    "qr_caqr_2d",
+    "qr_eg_sequential",
+    "qr_house_1d",
+    "qr_house_2d",
+    "redistribute_rows",
+    "run_qr",
+    "tsqr",
+    "validate_result",
+]

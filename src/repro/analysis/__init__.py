@@ -1,0 +1,68 @@
+"""Cost analysis: theorem formulas, tables, lower bounds, tradeoffs, fits."""
+
+from repro.analysis.constraints import (
+    Feasibility,
+    check_theorem1,
+    check_theorem2,
+    feasibility_report,
+    minimum_n_for_theorem1,
+)
+from repro.analysis.fitting import fit_exponent, fit_with_residual, ratio_table
+from repro.analysis.lower_bounds import (
+    bandwidth_latency_product_bound,
+    flops_lower_bound,
+    optimality_ratios,
+    squarish_bounds,
+    tall_skinny_bounds,
+)
+from repro.analysis.tables import format_rows, table2_predicted, table3_predicted
+from repro.analysis.theorems import (
+    cost_caqr1d,
+    cost_caqr1d_eps,
+    cost_caqr2d,
+    cost_caqr3d,
+    cost_house1d,
+    cost_house2d,
+    cost_theorem1,
+    cost_theorem2,
+    cost_tsqr,
+    predicted_for,
+)
+from repro.analysis.tradeoff import (
+    SweepPoint,
+    best_for_machine,
+    pareto_front,
+    tradeoff_monotone,
+)
+
+__all__ = [
+    "Feasibility",
+    "SweepPoint",
+    "bandwidth_latency_product_bound",
+    "best_for_machine",
+    "check_theorem1",
+    "check_theorem2",
+    "feasibility_report",
+    "minimum_n_for_theorem1",
+    "cost_caqr1d",
+    "cost_caqr1d_eps",
+    "cost_caqr2d",
+    "cost_caqr3d",
+    "cost_house1d",
+    "cost_house2d",
+    "cost_theorem1",
+    "cost_theorem2",
+    "cost_tsqr",
+    "fit_exponent",
+    "fit_with_residual",
+    "flops_lower_bound",
+    "format_rows",
+    "optimality_ratios",
+    "pareto_front",
+    "predicted_for",
+    "ratio_table",
+    "squarish_bounds",
+    "table2_predicted",
+    "table3_predicted",
+    "tradeoff_monotone",
+]

@@ -1,0 +1,101 @@
+"""Feasibility checks for the theorems' hypotheses (Eq. 2, 14, 15).
+
+Theorem 1's bounds only hold inside a parameter window: enough
+parallelism that the base cases stay tall (``P/(log P)^4 = Omega(m/n)``)
+but not so much that the all-to-all and tsqr terms take over
+(``P (log P)^2 = O(m^{d/(1+d)} n^{(1-d)/(1+d)})``).  Outside the window
+the algorithm still *runs* -- the costs just include the additive Eq. 13
+terms (see EXPERIMENTS.md's T2/F2 discussion).
+
+:func:`feasibility_report` tells a user, for their ``(m, n, P)``, which
+regime they are in, which theorem applies, and how far the scale is
+from the Theorem 1 window -- the question anyone hits the moment they
+try the 3D algorithm on a small machine.
+
+All checks use unit constants inside the Omega/O, which makes them
+*strict*: taken literally, Eq. 2 for square matrices requires
+``P >= (log P)^4`` (tens of thousands of processors) and ``n`` beyond
+``1e10`` -- a quantitative reading of the paper's Section 8.4 remark
+that Theorem 1 "is substantially limited by its restrictions on
+permissible parallelism".  The ``margin`` field lets callers apply
+their own constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.qr.params import log2p
+
+
+@dataclass(frozen=True)
+class Feasibility:
+    """Outcome of checking one theorem's hypotheses at ``(m, n, P)``."""
+
+    theorem: str
+    holds: bool
+    margin: float  # min over constraints of (allowed / required); >= 1 iff holds
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "holds" if self.holds else f"violated (margin {self.margin:.2g})"
+        return f"{self.theorem}: {status} -- {self.detail}"
+
+
+def check_theorem2(m: int, n: int, P: int, eps: float = 1.0) -> Feasibility:
+    """Theorem 2 needs ``m/n >= P`` and ``P (log P)^{2 eps} = O(n^2)``."""
+    lp = log2p(P)
+    margins = []
+    details = []
+    aspect_margin = (m / n) / P if P else float("inf")
+    margins.append(aspect_margin)
+    details.append(f"m/n >= P: {m / n:.3g} vs {P}")
+    cap = n * n / (P * lp ** (2 * eps))
+    margins.append(cap)
+    details.append(f"P(log P)^{{2e}} <= n^2: {P * lp ** (2 * eps):.3g} vs {n * n}")
+    margin = min(margins)
+    return Feasibility("Theorem 2", margin >= 1.0, margin, "; ".join(details))
+
+
+def check_theorem1(m: int, n: int, P: int, delta: float = 0.5, eps: float = 1.0) -> Feasibility:
+    """Theorem 1's Eq. 2 window, with unit constants."""
+    lp = log2p(P)
+    lower_required = m / n                      # P/(log P)^4 = Omega(m/n)
+    lower_actual = P / lp**4
+    upper_allowed = m ** (delta / (1 + delta)) * n ** ((1 - delta) / (1 + delta))
+    upper_actual = P * lp**2                    # P (log P)^2 = O(...)
+    m_lower = lower_actual / lower_required if lower_required else float("inf")
+    m_upper = upper_allowed / upper_actual if upper_actual else float("inf")
+    margin = min(m_lower, m_upper)
+    detail = (
+        f"P/(log P)^4 >= m/n: {lower_actual:.3g} vs {lower_required:.3g}; "
+        f"P(log P)^2 <= m^(d/(1+d)) n^((1-d)/(1+d)): {upper_actual:.3g} vs {upper_allowed:.3g}"
+    )
+    return Feasibility("Theorem 1", margin >= 1.0, margin, detail)
+
+
+def minimum_n_for_theorem1(P: int, delta: float = 0.5, aspect: float = 1.0) -> int:
+    """Smallest square-ish ``n`` (with ``m = aspect * n``) inside Eq. 2's window.
+
+    Solves ``P (log P)^2 <= (aspect n)^{d/(1+d)} n^{(1-d)/(1+d)}`` for n
+    with unit constants -- i.e. ``n >= (P (log P)^2 / aspect^{d/(1+d)})^{1+d}``.
+    Quantifies how far the Theorem 1 regime sits from toy scales.
+    """
+    lp = log2p(P)
+    rhs = P * lp**2 / aspect ** (delta / (1 + delta))
+    return max(1, int(rhs ** (1 + delta)) + 1)
+
+
+def feasibility_report(m: int, n: int, P: int, delta: float = 0.5, eps: float = 1.0) -> str:
+    """Human-readable regime summary for a problem/machine combination."""
+    lines = [f"feasibility at m={m}, n={n}, P={P} (delta={delta:g}, eps={eps:g})"]
+    regime = "tall-skinny (m/n >= P)" if m >= n * P else "square-ish (m/n < P)"
+    lines.append(f"regime: {regime}")
+    for chk in (check_theorem2(m, n, P, eps), check_theorem1(m, n, P, delta, eps)):
+        lines.append(str(chk))
+    n_min = minimum_n_for_theorem1(P, delta, aspect=max(m / n, 1.0))
+    lines.append(
+        f"Theorem 1 window at this P and aspect opens around n >= {n_min} "
+        "(unit constants)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Empirical scaling-exponent estimation for the theorem benchmarks.
+
+The theorems make Theta claims; the honest empirical check is that
+measured cost grows with the *predicted exponent* as one parameter
+sweeps and the rest stay fixed.  A log-log least-squares slope does
+exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fit_exponent(xs, ys) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    With ``y = c x^a`` exactly, returns ``a``.  Requires positive data
+    and at least two distinct ``x`` values.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size != ys.size or xs.size < 2:
+        raise ValueError("need at least two matching samples")
+    if (xs <= 0).any() or (ys <= 0).any():
+        raise ValueError("log-log fit requires positive data")
+    lx, ly = np.log(xs), np.log(ys)
+    slope = np.polyfit(lx, ly, 1)[0]
+    return float(slope)
+
+
+def fit_with_residual(xs, ys) -> tuple[float, float]:
+    """Slope plus RMS residual of the log-log fit (fit-quality check)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    lx, ly = np.log(xs), np.log(ys)
+    coeffs = np.polyfit(lx, ly, 1)
+    pred = np.polyval(coeffs, lx)
+    rms = float(np.sqrt(np.mean((ly - pred) ** 2)))
+    return float(coeffs[0]), rms
+
+
+def ratio_table(measured, predicted) -> list[float]:
+    """Measured/predicted ratios; flat ratios certify matching shapes."""
+    return [m / p if p else float("inf") for m, p in zip(measured, predicted)]

@@ -1,0 +1,57 @@
+"""Communication lower bounds (paper Section 8.3).
+
+All algorithms are subject to ``F = Omega(mn^2/P)`` [DGHL12].  In the
+tall-skinny regime the bandwidth and latency bounds are ``Omega(n^2)``
+and ``Omega(log P)``; in the square-ish regime ``Omega(n^2/(nP/m)^{2/3})``
+and ``Omega((nP/m)^{1/2})`` [BCD+14].  The lower-bound benchmark prints
+each algorithm's measured costs as multiples of these -- the paper's
+Section 8.3 narrative in numbers.
+"""
+
+from __future__ import annotations
+
+from repro.qr.params import log2p
+
+
+def flops_lower_bound(m: int, n: int, P: int) -> float:
+    """Arithmetic lower bound ``mn^2/P`` [DGHL12]."""
+    return m * n**2 / P
+
+
+def tall_skinny_bounds(m: int, n: int, P: int) -> dict[str, float]:
+    """Tall-skinny (``m/n >= P``) lower bounds: ``n^2`` words, ``log P`` messages."""
+    return {
+        "flops": flops_lower_bound(m, n, P),
+        "words": float(n**2),
+        "messages": log2p(P),
+    }
+
+
+def squarish_bounds(m: int, n: int, P: int) -> dict[str, float]:
+    """Square-ish (``m/n = O(P)``) lower bounds [BCD+14]."""
+    aspect = max(n * P / m, 1.0)
+    return {
+        "flops": flops_lower_bound(m, n, P),
+        "words": n**2 / aspect ** (2.0 / 3.0),
+        "messages": aspect**0.5,
+    }
+
+
+def bandwidth_latency_product_bound(n: int) -> float:
+    """The paper's conjectured ``Omega(n^2)`` bandwidth-latency product.
+
+    Theorem 1 attains ``O(n^2 (log P)^2)``; the conjecture says no
+    algorithm beats ``n^2``.  The tradeoff benchmark reports measured
+    ``W x S`` against this.
+    """
+    return float(n * n)
+
+
+def optimality_ratios(
+    measured: dict[str, float], bounds: dict[str, float]
+) -> dict[str, float]:
+    """Measured / lower-bound per metric (>= 1 means above the bound)."""
+    return {
+        k: (measured[k] / bounds[k] if bounds[k] > 0 else float("inf"))
+        for k in ("flops", "words", "messages")
+    }

@@ -1,0 +1,45 @@
+"""Predicted Tables 2 and 3 of the paper, as data.
+
+Each function returns rows of ``(algorithm, {flops, words, messages})``
+for concrete ``(m, n, P)`` -- the paper's symbolic tables instantiated.
+The table benchmarks print these beside measured values.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import theorems
+
+
+def table2_predicted(m: int, n: int, P: int, deltas=(0.5, 2.0 / 3.0)) -> list[tuple[str, dict]]:
+    """Table 2 (square-ish, ``m/n = O(P)``): d-house, caqr, 3d-caqr-eg."""
+    rows = [
+        ("d-house-2d", theorems.cost_house2d(m, n, P)),
+        ("caqr-2d", theorems.cost_caqr2d(m, n, P)),
+    ]
+    for delta in deltas:
+        rows.append((f"3d-caqr-eg(delta={delta:.3g})", theorems.cost_theorem1(m, n, P, delta)))
+    return rows
+
+
+def table3_predicted(m: int, n: int, P: int, epss=(0.0, 0.5, 1.0)) -> list[tuple[str, dict]]:
+    """Table 3 (tall-skinny, ``m/n = Omega(P)``): d-house, tsqr, 1d-caqr-eg."""
+    rows = [
+        ("d-house-1d", theorems.cost_house1d(m, n, P)),
+        ("tsqr", theorems.cost_tsqr(m, n, P)),
+    ]
+    for eps in epss:
+        rows.append((f"1d-caqr-eg(eps={eps:.3g})", theorems.cost_caqr1d_eps(m, n, P, eps)))
+    return rows
+
+
+def format_rows(rows: list[tuple[str, dict]], title: str = "") -> str:
+    """Monospace table for benchmark output."""
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"{'algorithm':<28} {'#flops':>14} {'#words':>14} {'#messages':>12}")
+    for name, c in rows:
+        out.append(
+            f"{name:<28} {c['flops']:>14.4g} {c['words']:>14.4g} {c['messages']:>12.4g}"
+        )
+    return "\n".join(out)

@@ -1,0 +1,131 @@
+"""Predicted cost triples from the paper's theorems and lemmas.
+
+Every function returns ``{"flops": F, "words": W, "messages": S}`` --
+the Theta-shape with unit constants.  Benchmarks print these next to
+measured critical paths; scaling tests check the measured *exponents*
+against them, which is the honest way to compare a Theta to a
+measurement.
+"""
+
+from __future__ import annotations
+
+from repro.qr.params import choose_b_3d, choose_bstar, log2p
+
+
+def cost_tsqr(m: int, n: int, P: int) -> dict[str, float]:
+    """Lemma 5: ``gamma (mn^2/P + n^3 log P) + beta n^2 log P + alpha log P``."""
+    lp = log2p(P)
+    return {
+        "flops": m * n**2 / P + n**3 * lp,
+        "words": n**2 * lp,
+        "messages": lp,
+    }
+
+
+def cost_caqr1d(m: int, n: int, P: int, b: int) -> dict[str, float]:
+    """Lemma 6 / Eq. 11 for explicit threshold ``b`` (requires ``P = O(b^2)``)."""
+    lp = log2p(P)
+    return {
+        "flops": m * n**2 / P + n * b**2 * lp,
+        "words": n**2 + n * b * lp,
+        "messages": (n / b) * lp,
+    }
+
+
+def cost_caqr1d_eps(m: int, n: int, P: int, eps: float) -> dict[str, float]:
+    """Theorem 2's proof shape with ``b = n/(log P)^eps`` (Table 3 row 3)."""
+    lp = log2p(P)
+    return {
+        "flops": m * n**2 / P + n**3 * lp ** (1 - 2 * eps),
+        "words": n**2 * (1 + lp ** (1 - eps)),
+        "messages": lp ** (1 + eps),
+    }
+
+
+def cost_theorem2(m: int, n: int, P: int) -> dict[str, float]:
+    """Theorem 2 (eps = 1): ``mn^2/P`` flops, ``n^2`` words, ``(log P)^2`` messages."""
+    lp = log2p(P)
+    return {"flops": m * n**2 / P, "words": float(n**2), "messages": lp**2}
+
+
+def cost_caqr3d(m: int, n: int, P: int, b: int, bstar: int) -> dict[str, float]:
+    """Lemma 7 / Eq. 13 for explicit thresholds ``(b, b*)``."""
+    import math
+
+    lp = log2p(P)
+    log_ratio = max(math.log2(max(n / b, 2.0)), 1.0)
+    words = (
+        m * n / P
+        + n * b
+        + n * bstar * lp
+        + (m * n**2 / P) ** (2.0 / 3.0)
+        + ((m * n / P + n) * log_ratio + n * P**2 / b) * lp
+    )
+    return {
+        "flops": m * n**2 / P + n * bstar**2 * lp,
+        "words": words,
+        "messages": (n / bstar) * lp,
+    }
+
+
+def cost_theorem1(m: int, n: int, P: int, delta: float) -> dict[str, float]:
+    """Theorem 1: ``mn^2/P``, ``n^2/(nP/m)^delta``, ``(nP/m)^delta (log P)^2``."""
+    lp = log2p(P)
+    aspect = max(n * P / m, 1.0)
+    return {
+        "flops": m * n**2 / P,
+        "words": n**2 / aspect**delta,
+        "messages": aspect**delta * lp**2,
+    }
+
+
+# ----------------------------------------------------------------------
+# Baselines (Tables 2 and 3 rows 1-2)
+# ----------------------------------------------------------------------
+
+def cost_house1d(m: int, n: int, P: int) -> dict[str, float]:
+    """Table 3 row 1: ``mn^2/P`` flops, ``n^2 log P`` words, ``n log P`` messages."""
+    lp = log2p(P)
+    return {"flops": m * n**2 / P, "words": n**2 * lp, "messages": n * lp}
+
+
+def cost_house2d(m: int, n: int, P: int) -> dict[str, float]:
+    """Table 2 row 1: words ``n^2/(nP/m)^(1/2)``, messages ``n log P``."""
+    lp = log2p(P)
+    aspect = max(n * P / m, 1.0)
+    return {"flops": m * n**2 / P, "words": n**2 / aspect**0.5, "messages": n * lp}
+
+
+def cost_caqr2d(m: int, n: int, P: int) -> dict[str, float]:
+    """Table 2 row 2: words ``n^2/(nP/m)^(1/2)``, messages ``(nP/m)^(1/2) (log P)^2``."""
+    lp = log2p(P)
+    aspect = max(n * P / m, 1.0)
+    return {
+        "flops": m * n**2 / P,
+        "words": n**2 / aspect**0.5,
+        "messages": aspect**0.5 * lp**2,
+    }
+
+
+def predicted_for(alg: str, m: int, n: int, P: int, **kw) -> dict[str, float]:
+    """Dispatch by algorithm name (benchmark convenience)."""
+    if alg == "tsqr":
+        return cost_tsqr(m, n, P)
+    if alg == "house1d":
+        return cost_house1d(m, n, P)
+    if alg == "caqr1d":
+        if "b" in kw and kw["b"] is not None:
+            return cost_caqr1d(m, n, P, kw["b"])
+        return cost_caqr1d_eps(m, n, P, kw.get("eps", 1.0))
+    if alg == "house2d":
+        return cost_house2d(m, n, P)
+    if alg == "caqr2d":
+        return cost_caqr2d(m, n, P)
+    if alg == "caqr3d":
+        if kw.get("b") is not None and kw.get("bstar") is not None:
+            return cost_caqr3d(m, n, P, kw["b"], kw["bstar"])
+        delta = kw.get("delta", 0.5)
+        b = choose_b_3d(m, n, P, delta)
+        bstar = choose_bstar(b, P, kw.get("eps", 1.0))
+        return cost_caqr3d(m, n, P, b, bstar)
+    raise KeyError(f"unknown algorithm {alg!r}")

@@ -1,0 +1,68 @@
+"""Bandwidth/latency tradeoff navigation -- the paper's headline knob.
+
+Given measured (or predicted) cost triples across a sweep of ``eps`` or
+``delta``, these helpers verify the tradeoff direction, compute the
+bandwidth-latency product the paper conjectures is ``Omega(n^2)``, and
+pick the best parameter for a concrete machine -- the tuning use-case
+the abstract advertises ("we can tune this algorithm for machines with
+different communication costs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine import CostParams
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a tradeoff sweep."""
+
+    knob: float                 # eps or delta
+    flops: float
+    words: float
+    messages: float
+
+    def time_under(self, params: CostParams) -> float:
+        return params.time(self.flops, self.words, self.messages)
+
+    @property
+    def bw_latency_product(self) -> float:
+        return self.words * self.messages
+
+
+def best_for_machine(points: list[SweepPoint], params: CostParams) -> SweepPoint:
+    """The sweep point minimizing modeled time on the given machine."""
+    if not points:
+        raise ValueError("empty sweep")
+    return min(points, key=lambda pt: pt.time_under(params))
+
+
+def tradeoff_monotone(points: list[SweepPoint], tol: float = 1.05) -> bool:
+    """True if words decrease and messages increase along the sweep.
+
+    ``tol`` permits small non-monotonic wiggles from integer rounding of
+    thresholds (``b`` is a rounded Theta).  Points must be sorted by
+    knob value.
+    """
+    ok = True
+    for a, b in zip(points, points[1:]):
+        if b.words > a.words * tol:
+            ok = False
+        if b.messages * tol < a.messages:
+            ok = False
+    return ok
+
+
+def pareto_front(points: list[SweepPoint]) -> list[SweepPoint]:
+    """Points not dominated in (words, messages) -- the tradeoff curve."""
+    front = []
+    for p in points:
+        if not any(
+            (q.words <= p.words and q.messages <= p.messages)
+            and (q.words < p.words or q.messages < p.messages)
+            for q in points
+        ):
+            front.append(p)
+    return sorted(front, key=lambda p: p.knob)

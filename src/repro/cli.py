@@ -1,0 +1,120 @@
+"""Command-line interface: run and sweep algorithms from the shell.
+
+Usage::
+
+    python -m repro run   --alg caqr3d --m 256 --n 64 --P 16 --delta 0.5
+    python -m repro sweep --alg caqr1d --m 8192 --n 64 --P 32 --knob b \\
+                          --values 64,32,16,8
+    python -m repro profiles
+
+``run`` factors one matrix and prints the measured cost triple plus
+diagnostics; ``sweep`` varies one knob and prints a table with modeled
+times on every machine profile; ``profiles`` lists the built-in
+machine profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.machine import MACHINE_PROFILES
+from repro.workloads import ALGORITHMS, format_run_table, gaussian, run_qr
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--alg", required=True, choices=ALGORITHMS)
+    p.add_argument("--m", type=int, required=True)
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--P", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-validate", action="store_true")
+
+
+def _params_from(args) -> dict:
+    out = {}
+    for name in ("b", "bstar", "bb"):
+        v = getattr(args, name, None)
+        if v is not None:
+            out[name] = v
+    for name in ("eps", "delta"):
+        v = getattr(args, name, None)
+        if v is not None:
+            out[name] = v
+    return out
+
+
+def cmd_run(args) -> int:
+    A = gaussian(args.m, args.n, seed=args.seed)
+    r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate, **_params_from(args))
+    print(format_run_table([r.row()]))
+    ph = r.words_by_phase()
+    if ph["alltoall"] or ph["dmm"]:
+        print(f"word volume by phase: base/1d={ph['other']:.0f} "
+              f"dmm={ph['dmm']:.0f} all-to-all={ph['alltoall']:.0f}")
+    print("modeled time by machine profile:")
+    for name, prof in MACHINE_PROFILES.items():
+        if name == "unit":
+            continue
+        print(f"  {name:<16} {r.report.time_under(prof):.3e} s")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    A = gaussian(args.m, args.n, seed=args.seed)
+    values = []
+    for tok in args.values.split(","):
+        values.append(float(tok) if "." in tok else int(tok))
+    rows = []
+    for v in values:
+        r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
+                   **{**_params_from(args), args.knob: v})
+        row = r.row()
+        row[args.knob] = v
+        for name in ("cluster", "cloud", "supercomputer"):
+            row[f"t({name})"] = r.report.time_under(MACHINE_PROFILES[name])
+        rows.append(row)
+    cols = ["algorithm", args.knob, "flops", "words", "messages",
+            "t(cluster)", "t(cloud)", "t(supercomputer)"]
+    print(format_run_table(rows, columns=cols,
+                           title=f"{args.alg} sweep over {args.knob} "
+                                 f"(m={args.m}, n={args.n}, P={args.P})"))
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    print(f"{'name':<18} {'alpha':>10} {'beta':>10} {'gamma':>10}")
+    for name, p in MACHINE_PROFILES.items():
+        print(f"{name:<18} {p.alpha:>10.2e} {p.beta:>10.2e} {p.gamma:>10.2e}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="QR decomposition algorithms from Ballard et al., SPAA 2018"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="factor one matrix, print measured costs")
+    _add_common(p_run)
+    for name, typ in (("b", int), ("bstar", int), ("bb", int), ("eps", float), ("delta", float)):
+        p_run.add_argument(f"--{name}", type=typ, default=None)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one knob, print cost table")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--knob", required=True, choices=["b", "bstar", "bb", "eps", "delta"])
+    p_sweep.add_argument("--values", required=True, help="comma-separated knob values")
+    for name, typ in (("b", int), ("bstar", int), ("bb", int), ("eps", float), ("delta", float)):
+        p_sweep.add_argument(f"--{name}", type=typ, default=None)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_prof = sub.add_parser("profiles", help="list machine profiles")
+    p_prof.set_defaults(fn=cmd_profiles)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

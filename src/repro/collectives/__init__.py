@@ -1,0 +1,60 @@
+"""Collective communication on the simulated machine (paper Section 3, App. A).
+
+Eight collectives over :class:`CommContext` processor groups, in three
+algorithm families:
+
+* binomial trees (:mod:`~repro.collectives.binomial`):
+  scatter, gather, broadcast, reduce, all-reduce;
+* bidirectional exchange (:mod:`~repro.collectives.bidirectional`):
+  reduce-scatter, all-gather, and large-block broadcast / reduce /
+  all-reduce built from them;
+* index all-to-all (:mod:`~repro.collectives.alltoall`): the radix-2
+  algorithm of [BHK+97] and the two-phase balanced variant of [HBJ96].
+
+:mod:`~repro.collectives.dispatch` auto-selects the cheaper variant per
+Table 1; :mod:`~repro.collectives.bounds` holds the Table 1 formulas.
+"""
+
+from repro.collectives.alltoall import (
+    all_to_all_blocks,
+    all_to_all_index,
+    all_to_all_two_phase,
+)
+from repro.collectives.bidirectional import (
+    all_gather,
+    all_reduce_bidirectional,
+    broadcast_bidirectional,
+    reduce_bidirectional,
+    reduce_scatter,
+)
+from repro.collectives.binomial import (
+    all_reduce_binomial,
+    broadcast_binomial,
+    gather,
+    reduce_binomial,
+    scatter,
+)
+from repro.collectives.bounds import TABLE1
+from repro.collectives.context import CommContext
+from repro.collectives.dispatch import all_reduce, broadcast, reduce
+
+__all__ = [
+    "TABLE1",
+    "CommContext",
+    "all_gather",
+    "all_reduce",
+    "all_reduce_bidirectional",
+    "all_reduce_binomial",
+    "all_to_all_blocks",
+    "all_to_all_index",
+    "all_to_all_two_phase",
+    "broadcast",
+    "broadcast_bidirectional",
+    "broadcast_binomial",
+    "gather",
+    "reduce",
+    "reduce_bidirectional",
+    "reduce_binomial",
+    "reduce_scatter",
+    "scatter",
+]

@@ -1,0 +1,183 @@
+"""All-to-all: radix-2 index algorithm and the two-phase variant.
+
+The index algorithm [BHK+97] runs ``d = ceil(log2 P)`` rounds; in round
+``i`` each processor forwards to ``(p + 2^i) mod P`` every block it
+currently holds whose remaining distance to its destination has bit ``i``
+set.  Every block reaches its destination after ``d`` rounds, giving
+``log P`` messages but up to ``B P/2`` words per round.
+
+The two-phase variant [HBJ96] first *deals* each block's elements
+cyclically across intermediate processors, runs two index all-to-alls
+(to intermediates, then to true destinations), and reassembles.  This
+bounds the bandwidth by ``(B* + P^2) log P`` where ``B*`` is the maximum
+number of words any processor holds before/after -- the bound Section 7
+relies on (and the source of the ``P^2`` term in Eq. 13).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.collectives.context import CommContext
+from repro.machine import MachineError, Meta
+from repro.util import ilog2
+
+#: An item is (dest_group_rank, tag, array).  Tags are opaque to routing.
+Item = tuple[int, Any, np.ndarray]
+
+
+def all_to_all_index(
+    ctx: CommContext, items_by_rank: Sequence[Sequence[Item]]
+) -> list[list[tuple[Any, np.ndarray]]]:
+    """Route tagged blocks with the radix-2 index algorithm.
+
+    ``items_by_rank[p]`` is the list of ``(dest, tag, array)`` items
+    initially held by group rank ``p``.  Returns ``received[q]``: the
+    ``(tag, array)`` pairs delivered to ``q`` (self-addressed items are
+    delivered without cost, in-place).
+    """
+    P = ctx.size
+    if len(items_by_rank) != P:
+        raise MachineError(f"all_to_all needs {P} item lists, got {len(items_by_rank)}")
+    received: list[list[tuple[Any, np.ndarray]]] = [[] for _ in range(P)]
+    # holding[p]: items currently at p and not yet home.
+    holding: list[list[Item]] = [[] for _ in range(P)]
+    for p in range(P):
+        for dest, tag, arr in items_by_rank[p]:
+            if not (0 <= dest < P):
+                raise MachineError(f"destination {dest} out of range for group of size {P}")
+            if dest == p:
+                received[p].append((tag, arr))
+            else:
+                holding[p].append((dest, tag, arr))
+
+    if P == 1:
+        return received
+
+    for i in range(ilog2(P)):
+        bit = 1 << i
+        # Decide every processor's outgoing set against the start-of-round
+        # state, then deliver the whole round simultaneously.
+        outgoing: list[list[Item]] = []
+        for p in range(P):
+            go = [(d, t, a) for (d, t, a) in holding[p] if ((d - p) % P) & bit]
+            stay = [(d, t, a) for (d, t, a) in holding[p] if not ((d - p) % P) & bit]
+            outgoing.append(go)
+            holding[p] = stay
+        round_plan = [
+            (p, (p + bit) % P, [Meta([(d, t) for d, t, _ in outgoing[p]])] + [a for _, _, a in outgoing[p]])
+            for p in range(P)
+            if outgoing[p]
+        ]
+        ctx.exchange_round(round_plan, label=f"alltoall_round{i}")
+        for p in range(P):
+            if not outgoing[p]:
+                continue
+            nxt = (p + bit) % P
+            for d, t, a in outgoing[p]:
+                if d == nxt:
+                    received[nxt].append((t, a))
+                else:
+                    holding[nxt].append((d, t, a))
+
+    for p in range(P):
+        if holding[p]:
+            raise MachineError("index all-to-all left undelivered blocks (internal error)")
+    return received
+
+
+def all_to_all_two_phase(
+    ctx: CommContext, items_by_rank: Sequence[Sequence[Item]]
+) -> list[list[tuple[Any, np.ndarray]]]:
+    """Two-phase load-balanced all-to-all ([HBJ96], paper Appendix A.3).
+
+    Each source deals the elements of its block for destination ``q``
+    cyclically over intermediate processors starting at ``(p + q) mod P``;
+    two index all-to-alls route chunks to intermediates and then home,
+    where blocks are reassembled elementwise.  Balancing makes the
+    per-round message sizes depend on ``B*`` (row/column sums) rather
+    than on the largest single block.
+    """
+    P = ctx.size
+    if len(items_by_rank) != P:
+        raise MachineError(f"all_to_all needs {P} item lists, got {len(items_by_rank)}")
+    if P == 1:
+        return [[(tag, arr) for _dest, tag, arr in items_by_rank[0]]]
+
+    # Phase 0 (local): deal each item's flattened elements into P chunks.
+    # Chunk for intermediate t holds elements e with (p + q + e) % P == t,
+    # i.e. e = r0, r0+P, ... with r0 = (t - p - q) % P.
+    phase1_items: list[list[Item]] = [[] for _ in range(P)]
+    originals: dict[tuple[int, int, int], tuple[Any, tuple[int, ...], np.dtype]] = {}
+    for p in range(P):
+        for serial, (dest, tag, arr) in enumerate(items_by_rank[p]):
+            if not (0 <= dest < P):
+                raise MachineError(f"destination {dest} out of range for group of size {P}")
+            arr = np.asarray(arr)
+            originals[(p, dest, serial)] = (tag, arr.shape, arr.dtype)
+            flat = arr.reshape(-1)
+            for t in range(P):
+                r0 = (t - p - dest) % P
+                chunk = flat[r0::P]
+                if chunk.size == 0 and t != dest:
+                    continue  # nothing to route through this intermediate
+                phase1_items[p].append((t, ("tp", p, dest, serial, r0), chunk))
+
+    mid = all_to_all_index(ctx, phase1_items)
+
+    # Phase 2: forward every chunk from its intermediate to its true home.
+    phase2_items: list[list[Item]] = [[] for _ in range(P)]
+    for t in range(P):
+        for tag, chunk in mid[t]:
+            _kind, p, dest, serial, r0 = tag
+            phase2_items[t].append((dest, tag, chunk))
+    home = all_to_all_index(ctx, phase2_items)
+
+    # Reassemble at destinations.
+    received: list[list[tuple[Any, np.ndarray]]] = [[] for _ in range(P)]
+    for q in range(P):
+        groups: dict[tuple[int, int, int], list[tuple[int, np.ndarray]]] = {}
+        for tag, chunk in home[q]:
+            _kind, p, dest, serial, r0 = tag
+            groups.setdefault((p, dest, serial), []).append((r0, chunk))
+        for key in sorted(groups):
+            user_tag, shape, dtype = originals[key]
+            total = int(np.prod(shape)) if shape else 1
+            out = np.empty(total, dtype=dtype)
+            for r0, chunk in groups[key]:
+                out[r0::P] = chunk
+            received[q].append((user_tag, out.reshape(shape)))
+    return received
+
+
+def all_to_all_blocks(
+    ctx: CommContext,
+    blocks: Sequence[Sequence[np.ndarray | None]],
+    method: str = "two_phase",
+) -> list[list[np.ndarray | None]]:
+    """Dense personalized exchange: ``out[q][p] = blocks[p][q]``.
+
+    Convenience wrapper over the tagged item interface.  ``method`` is
+    ``"two_phase"`` (default, the paper's choice) or ``"index"``.
+    """
+    P = ctx.size
+    items: list[list[Item]] = [[] for _ in range(P)]
+    for p in range(P):
+        if len(blocks[p]) != P:
+            raise MachineError(f"blocks[{p}] has length {len(blocks[p])}, expected {P}")
+        for q in range(P):
+            if blocks[p][q] is not None:
+                items[p].append((q, p, np.asarray(blocks[p][q])))
+    if method == "two_phase":
+        received = all_to_all_two_phase(ctx, items)
+    elif method == "index":
+        received = all_to_all_index(ctx, items)
+    else:
+        raise ValueError(f"unknown all-to-all method {method!r}")
+    out: list[list[np.ndarray | None]] = [[None] * P for _ in range(P)]
+    for q in range(P):
+        for src, arr in received[q]:
+            out[q][src] = arr
+    return out

@@ -1,0 +1,202 @@
+"""Bidirectional-exchange collectives (paper Appendix A.2).
+
+reduce-scatter and all-gather via recursive halving with pairwise
+exchanges, plus the large-block broadcast / reduce / all-reduce built
+from them (scatter+all-gather and reduce-scatter+gather/all-gather).
+
+The point of these algorithms -- and the reason 1d-caqr-eg exists -- is
+that for block size ``B`` large relative to ``P`` they move ``O(B)``
+words instead of the binomial tree's ``O(B log P)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives import binomial
+from repro.collectives.context import CommContext
+from repro.machine import MachineError, Meta
+from repro.util import balanced_partition, ceil_div
+
+
+def _pairings(s1: list[int], s2: list[int]) -> list[tuple[int, int]]:
+    """Pair each member of the larger half ``s1`` with one of ``s2``.
+
+    ``len(s1) - len(s2)`` is 0 or 1.  In the unbalanced case the extra
+    ``s1`` member is paired with ``s2[0]``, which therefore appears twice
+    (the paper's processor ``p`` paired with both ``q`` and ``q'``).
+    """
+    if not (0 <= len(s1) - len(s2) <= 1):
+        raise MachineError("halves must differ in size by at most one")
+    pairs = [(s1[i], s2[i]) for i in range(len(s2))]
+    if len(s1) > len(s2):
+        pairs.append((s1[-1], s2[0]))
+    return pairs
+
+
+def reduce_scatter(
+    ctx: CommContext,
+    contributions: Sequence[Sequence[np.ndarray | None]],
+) -> list[np.ndarray | None]:
+    """Reduce-scatter: ``out[q] = sum_p contributions[p][q]``, held at ``q``.
+
+    ``contributions[p][q]`` is the block processor ``p`` contributes for
+    destination ``q`` (``None`` means no contribution).  Shapes for a
+    fixed ``q`` must agree across contributing ``p``.  Cost: ``(P-1)B``
+    words and flops, ``log P`` messages, ``B`` the largest block.
+    """
+    P = ctx.size
+    if len(contributions) != P:
+        raise MachineError(f"reduce_scatter needs {P} contribution lists, got {len(contributions)}")
+    # state[p] maps destination -> current partial sum held by p.
+    state: list[dict[int, np.ndarray]] = []
+    for p in range(P):
+        row = contributions[p]
+        if len(row) != P:
+            raise MachineError(f"contribution list of rank {p} has length {len(row)}, expected {P}")
+        state.append({q: row[q] for q in range(P) if row[q] is not None})
+
+    def rec(members: list[int]) -> None:
+        if len(members) == 1:
+            return
+        h = ceil_div(len(members), 2)
+        s1, s2 = members[:h], members[h:]
+        set1, set2 = set(s1), set(s2)
+
+        # Stage every message of this level, pop the shed blocks, then
+        # deliver simultaneously -- a true bidirectional exchange.
+        plan: list[tuple[int, int, dict[int, np.ndarray]]] = []
+        seen_small: set[int] = set()
+        for a, b in _pairings(s1, s2):
+            plan.append((a, b, {q: state[a].pop(q) for q in sorted(set2) if q in state[a]}))
+            if b not in seen_small:
+                plan.append((b, a, {q: state[b].pop(q) for q in sorted(set1) if q in state[b]}))
+                seen_small.add(b)
+        ctx.exchange_round(
+            [
+                (s, d, [Meta(sorted(send))] + [send[q] for q in sorted(send)])
+                for s, d, send in plan
+            ],
+            label="reduce_scatter",
+        )
+        for _s, d, send in plan:
+            flops = 0
+            for q, blk in send.items():
+                if q in state[d]:
+                    state[d][q] = state[d][q] + blk
+                    flops += blk.size
+                else:
+                    state[d][q] = blk
+            if flops:
+                ctx.compute(d, float(flops), label="reduce_scatter_add")
+        rec(s1)
+        rec(s2)
+
+    rec(list(range(P)))
+    return [state[q].get(q) for q in range(P)]
+
+
+def all_gather(ctx: CommContext, blocks: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    """All-gather: every rank ends with ``[blocks[0], ..., blocks[P-1]]``.
+
+    Head recursion reversing reduce-scatter's pattern.  Cost: ``(P-1)B``
+    words in ``log P`` messages.
+    """
+    P = ctx.size
+    if len(blocks) != P:
+        raise MachineError(f"all_gather needs {P} blocks, got {len(blocks)}")
+    state: list[dict[int, np.ndarray]] = [{p: blocks[p]} for p in range(P)]
+
+    def rec(members: list[int]) -> None:
+        if len(members) == 1:
+            return
+        h = ceil_div(len(members), 2)
+        s1, s2 = members[:h], members[h:]
+        rec(s1)
+        rec(s2)
+        # Every message of this level carries pre-exchange state and is
+        # delivered simultaneously.  In the unbalanced case the extra
+        # larger-half member stays silent (its blocks are already
+        # replicated within its half) while the smaller-half member
+        # "sends to both of q, q' but receives from one".
+        plan: list[tuple[int, int]] = []
+        seen_small: set[int] = set()
+        for a, b in _pairings(s1, s2):
+            if b not in seen_small:
+                plan.append((a, b))
+                plan.append((b, a))
+                seen_small.add(b)
+            else:
+                plan.append((b, a))
+        snap = {m: dict(state[m]) for m in members}
+        ctx.exchange_round(
+            [
+                (s, d, [Meta(sorted(snap[s]))] + [snap[s][q] for q in sorted(snap[s])])
+                for s, d in plan
+            ],
+            label="all_gather",
+        )
+        for s, d in plan:
+            state[d].update(snap[s])
+
+    rec(list(range(P)))
+    return [[state[p][q] for q in range(P)] for p in range(P)]
+
+
+# ----------------------------------------------------------------------
+# Large-block broadcast / reduce / all-reduce built from the above
+# ----------------------------------------------------------------------
+
+def _split_array(value: np.ndarray, P: int) -> list[np.ndarray]:
+    """Split a flattened array into ``P`` balanced contiguous pieces."""
+    flat = value.reshape(-1)
+    return [flat[part.start : part.stop] for part in balanced_partition(flat.size, P)]
+
+
+def _reassemble(pieces: Sequence[np.ndarray], shape: tuple[int, ...], dtype) -> np.ndarray:
+    out = np.concatenate([np.asarray(p).reshape(-1) for p in pieces]) if pieces else np.empty(0, dtype)
+    return out.reshape(shape)
+
+
+def broadcast_bidirectional(ctx: CommContext, root: int, value: np.ndarray) -> np.ndarray:
+    """Broadcast = scatter + all-gather (paper Eq. 20).
+
+    Moves ``O((P-1) ceil(B/P))`` words per endpoint -- asymptotically
+    ``2B`` for ``B >> P`` -- in ``2 log P`` messages.  Returns the
+    reassembled array (each rank conceptually holds a copy).
+    """
+    value = np.asarray(value)
+    P = ctx.size
+    pieces = _split_array(value, P)
+    got = binomial.scatter(ctx, root, pieces)
+    everywhere = all_gather(ctx, got)
+    # All ranks reassemble identically; return rank 0's copy.
+    return _reassemble(everywhere[0], value.shape, value.dtype)
+
+
+def reduce_bidirectional(
+    ctx: CommContext, root: int, contributions: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Reduce = reduce-scatter + gather (paper Eq. 21)."""
+    P = ctx.size
+    shape = np.asarray(contributions[0]).shape
+    dtype = np.asarray(contributions[0]).dtype
+    per_rank = [_split_array(np.asarray(contributions[p]), P) for p in range(P)]
+    summed = reduce_scatter(ctx, per_rank)
+    pieces = binomial.gather(ctx, root, summed)
+    return _reassemble(pieces, shape, dtype)
+
+
+def all_reduce_bidirectional(
+    ctx: CommContext, contributions: Sequence[np.ndarray]
+) -> np.ndarray:
+    """All-reduce = reduce-scatter + all-gather (paper Eq. 21)."""
+    P = ctx.size
+    shape = np.asarray(contributions[0]).shape
+    dtype = np.asarray(contributions[0]).dtype
+    per_rank = [_split_array(np.asarray(contributions[p]), P) for p in range(P)]
+    summed = reduce_scatter(ctx, per_rank)
+    everywhere = all_gather(ctx, summed)
+    return _reassemble(everywhere[0], shape, dtype)

@@ -1,0 +1,74 @@
+"""Asymptotic cost bounds for the eight collectives (paper Table 1).
+
+Each function returns ``{"flops": F, "words": W, "messages": S}`` for a
+group of ``P`` processors with largest block ``B`` (and, for all-to-all,
+``B*`` = the maximum words any processor holds before/after).  These are
+the Theta-shapes the implementations must track; the test suite asserts
+measured critical paths stay within small constant factors of them.
+"""
+
+from __future__ import annotations
+
+from repro.util import ilog2
+
+
+def _logp(P: int) -> int:
+    """``ceil(log2 P)``, at least 1 so bounds stay positive for P=2."""
+    return max(ilog2(max(P, 1)), 1)
+
+
+def bound_scatter(P: int, B: float) -> dict[str, float]:
+    return {"flops": 0.0, "words": (P - 1) * B, "messages": _logp(P)}
+
+
+def bound_gather(P: int, B: float) -> dict[str, float]:
+    return {"flops": 0.0, "words": (P - 1) * B, "messages": _logp(P)}
+
+
+def bound_broadcast(P: int, B: float) -> dict[str, float]:
+    return {"flops": 0.0, "words": min(B * _logp(P), B + P), "messages": _logp(P)}
+
+
+def bound_reduce(P: int, B: float) -> dict[str, float]:
+    w = min(B * _logp(P), B + P)
+    return {"flops": w, "words": w, "messages": _logp(P)}
+
+
+def bound_all_gather(P: int, B: float) -> dict[str, float]:
+    return {"flops": 0.0, "words": (P - 1) * B, "messages": _logp(P)}
+
+
+def bound_all_reduce(P: int, B: float) -> dict[str, float]:
+    w = min(B * _logp(P), B + P)
+    return {"flops": w, "words": w, "messages": _logp(P)}
+
+
+def bound_reduce_scatter(P: int, B: float) -> dict[str, float]:
+    return {"flops": (P - 1) * B, "words": (P - 1) * B, "messages": _logp(P)}
+
+
+def bound_all_to_all(P: int, B: float, B_star: float | None = None) -> dict[str, float]:
+    """Table 1's all-to-all row; two-phase term needs ``B*``.
+
+    With ``B_star`` omitted the pessimistic ``B* <= B P`` is used.
+    The message count for the two-phase variant is ``2 log P`` -- still
+    ``O(log P)``; we report the single-phase ``log P`` as the Theta shape.
+    """
+    if B_star is None:
+        B_star = B * P
+    naive = B * P * _logp(P)
+    balanced = (B_star + P * P) * _logp(P)
+    return {"flops": 0.0, "words": min(naive, balanced), "messages": _logp(P)}
+
+
+#: Name -> bound function, for table-driven tests and the Table 1 bench.
+TABLE1 = {
+    "scatter": bound_scatter,
+    "gather": bound_gather,
+    "broadcast": bound_broadcast,
+    "reduce": bound_reduce,
+    "all_gather": bound_all_gather,
+    "all_reduce": bound_all_reduce,
+    "reduce_scatter": bound_reduce_scatter,
+    "all_to_all": bound_all_to_all,
+}

@@ -1,0 +1,83 @@
+"""Communication contexts: processor groups over a machine.
+
+A :class:`CommContext` is an ordered group of machine ranks, analogous to
+an MPI communicator.  Collectives operate on *group ranks* ``0..size-1``;
+the context maps them to machine ranks.  Disjoint contexts can run
+collectives "simultaneously" -- the per-processor clocks in the machine
+make the cost accounting come out as a parallel schedule would (paper
+Section 3's simultaneous grid-fiber collectives in Lemma 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.machine import Machine, MachineError
+
+
+class CommContext:
+    """An ordered subgroup of a machine's processors.
+
+    Parameters
+    ----------
+    machine:
+        The underlying simulated machine.
+    ranks:
+        Distinct machine ranks forming the group, in group-rank order.
+        ``ranks[i]`` is the machine rank of group rank ``i``.
+    """
+
+    def __init__(self, machine: Machine, ranks: Sequence[int]) -> None:
+        ranks = list(ranks)
+        if not ranks:
+            raise MachineError("CommContext requires a nonempty rank list")
+        if len(set(ranks)) != len(ranks):
+            raise MachineError(f"CommContext ranks must be distinct, got {ranks}")
+        for r in ranks:
+            if not (0 <= r < machine.P):
+                raise MachineError(f"rank {r} out of range for machine with P={machine.P}")
+        self.machine = machine
+        self.ranks = ranks
+        self._inv = {r: i for i, r in enumerate(ranks)}
+
+    @classmethod
+    def world(cls, machine: Machine) -> "CommContext":
+        """The full-machine context (all ``P`` ranks in order)."""
+        return cls(machine, range(machine.P))
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def global_rank(self, group_rank: int) -> int:
+        """Machine rank of ``group_rank``."""
+        return self.ranks[group_rank]
+
+    def group_rank(self, machine_rank: int) -> int:
+        """Group rank of a machine rank (KeyError if not a member)."""
+        return self._inv[machine_rank]
+
+    def subgroup(self, group_ranks: Sequence[int]) -> "CommContext":
+        """Context over a subset of this group (indices are group ranks)."""
+        return CommContext(self.machine, [self.ranks[i] for i in group_ranks])
+
+    # ------------------------------------------------------------------
+    # Primitives in group coordinates
+    # ------------------------------------------------------------------
+    def transfer(self, src: int, dst: int, payload: Any, label: str = "") -> Any:
+        """Point-to-point transfer between group ranks."""
+        return self.machine.transfer(self.ranks[src], self.ranks[dst], payload, label=label)
+
+    def compute(self, p: int, flops: float, label: str = "") -> None:
+        """Charge flops on group rank ``p``."""
+        self.machine.compute(self.ranks[p], flops, label=label)
+
+    def exchange_round(self, transfers, label: str = ""):
+        """Simultaneous transfer round in group coordinates."""
+        return self.machine.exchange_round(
+            [(self.ranks[s], self.ranks[d], payload) for s, d, payload in transfers],
+            label=label,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CommContext(size={self.size}, ranks={self.ranks})"

@@ -1,0 +1,125 @@
+"""The paper's machine cost model (Section 3).
+
+Each arithmetic operation takes time ``gamma``; sending or receiving a
+message of ``w`` words takes time ``alpha + w * beta``.  Runtime is the
+maximum weight of any path through the execution DAG.
+
+:class:`CostParams` bundles (alpha, beta, gamma) for a machine;
+:class:`CostReport` is the measured result: per-metric critical paths and
+aggregate totals.  A few representative machine profiles are provided for
+the examples and the tuning benchmarks -- the point of the paper is that
+the best algorithm depends on the alpha/beta ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Machine parameters of the alpha-beta-gamma model.
+
+    Attributes
+    ----------
+    alpha:
+        Per-message latency (seconds per message).
+    beta:
+        Inverse bandwidth (seconds per word).
+    gamma:
+        Time per arithmetic operation (seconds per flop).
+    name:
+        Optional human-readable label for reports.
+    """
+
+    alpha: float = 1.0
+    beta: float = 1.0
+    gamma: float = 1.0
+    name: str = "unit"
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0 or self.gamma < 0:
+            raise ValueError(
+                f"cost parameters must be nonnegative, got "
+                f"alpha={self.alpha}, beta={self.beta}, gamma={self.gamma}"
+            )
+
+    def time(self, flops: float, words: float, messages: float) -> float:
+        """Modeled runtime ``gamma*F + beta*W + alpha*S`` for given path costs."""
+        return self.gamma * flops + self.beta * words + self.alpha * messages
+
+
+#: Representative machine profiles.  Ratios loosely follow published
+#: alpha/beta/gamma measurements: a commodity cluster has expensive
+#: messages relative to bandwidth; a tightly-coupled supercomputer has
+#: cheap messages; a "cloud" profile has both expensive.  Absolute units
+#: are seconds with gamma normalized to a ~10 GF/s core.
+MACHINE_PROFILES: dict[str, CostParams] = {
+    "unit": CostParams(1.0, 1.0, 1.0, name="unit"),
+    "cluster": CostParams(alpha=1e-5, beta=4e-9, gamma=1e-10, name="cluster"),
+    "supercomputer": CostParams(alpha=1e-6, beta=5e-10, gamma=1e-10, name="supercomputer"),
+    "cloud": CostParams(alpha=5e-4, beta=2e-8, gamma=1e-10, name="cloud"),
+    # Bandwidth-starved machine: favors 3D algorithms (large delta).
+    "bandwidth_bound": CostParams(alpha=1e-6, beta=1e-7, gamma=1e-10, name="bandwidth_bound"),
+    # Latency-starved machine: favors low-message algorithms (small delta).
+    "latency_bound": CostParams(alpha=1e-2, beta=1e-9, gamma=1e-10, name="latency_bound"),
+}
+
+
+@dataclass
+class CostReport:
+    """Measured critical-path and aggregate costs of an execution.
+
+    The three ``critical_*`` fields are the paper's cost measures: the
+    maximum, over all paths in the execution DAG, of the path's total
+    flops / words / messages.  Each metric is maximized *independently*
+    (different paths may realize different maxima), which is exactly how
+    the paper states per-metric bounds.
+
+    ``total_*`` are sums over all processors (volume, not critical path),
+    useful for sanity checks and for energy-style accounting.
+    """
+
+    processors: int
+    critical_flops: float
+    critical_words: float
+    critical_messages: float
+    total_flops: float
+    total_words_sent: float
+    total_messages_sent: float
+    #: Longest path with combined weight gamma*F + beta*W + alpha*S under
+    #: the CostParams the machine was constructed with.
+    modeled_time: float = 0.0
+    params: CostParams = field(default_factory=CostParams)
+
+    def time_under(self, params: CostParams) -> float:
+        """Upper-bound runtime estimate under different machine parameters.
+
+        Combines the three per-metric critical paths; this bounds the true
+        combined-weight critical path from above (each term is maximized
+        separately), and is the quantity the paper's per-metric cost
+        triples bound.
+        """
+        return params.time(
+            self.critical_flops, self.critical_words, self.critical_messages
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict for table printing in benchmarks."""
+        return {
+            "P": self.processors,
+            "flops": self.critical_flops,
+            "words": self.critical_words,
+            "messages": self.critical_messages,
+            "total_flops": self.total_flops,
+            "total_words": self.total_words_sent,
+            "total_messages": self.total_messages_sent,
+            "modeled_time": self.modeled_time,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CostReport(P={self.processors}, F={self.critical_flops:.3g}, "
+            f"W={self.critical_words:.3g}, S={self.critical_messages:.3g}, "
+            f"time={self.modeled_time:.3g})"
+        )

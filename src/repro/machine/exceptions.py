@@ -1,0 +1,23 @@
+"""Exception hierarchy for the machine simulator and the algorithms on it."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class MachineError(ReproError):
+    """Invalid use of the simulated machine (bad rank, negative cost, ...)."""
+
+
+class OwnershipError(MachineError):
+    """An algorithm touched data on a processor that does not own it."""
+
+
+class DistributionError(ReproError):
+    """A distributed object does not satisfy an algorithm's layout requirements."""
+
+
+class ParameterError(ReproError):
+    """Algorithm parameters out of their valid range (e.g. P > m/n for TSQR)."""

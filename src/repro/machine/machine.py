@@ -1,0 +1,259 @@
+"""The simulated distributed-memory machine (paper Section 3).
+
+A :class:`Machine` is a set of ``P`` processors with unbounded local
+memory.  Algorithms move numpy arrays between processors with
+:meth:`Machine.transfer` and charge arithmetic with
+:meth:`Machine.compute`.  The machine is the *single authority* for cost
+accounting: all flops, words, and messages flow through it, and
+per-metric critical paths are tracked exactly (see
+:mod:`repro.machine.clocks`).
+
+Data locality is a convention enforced by the distributed containers in
+:mod:`repro.dist`: the machine itself only meters movement.  A message of
+``w`` words costs ``alpha + w*beta`` at *both* endpoints and the receive
+happens-after the send, exactly the paper's DAG semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.machine.clocks import ClockSet
+from repro.machine.cost_model import CostParams, CostReport
+from repro.machine.exceptions import MachineError
+from repro.machine.tracing import Trace
+
+
+class Meta:
+    """Zero-cost routing metadata riding along a message.
+
+    Models the envelope information (source/destination tags, counts,
+    displacements) that MPI carries outside the user payload; it does not
+    count toward the message's word cost.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Meta({self.value!r})"
+
+
+def words_of(payload: Any) -> int:
+    """Number of words in a message payload.
+
+    Payloads are numpy arrays, python scalars (1 word), or (possibly
+    nested) sequences thereof.  ``None`` contributes 0 words and
+    :class:`Meta` wrappers are free, so routing tags can ride along in
+    structured payloads.
+    """
+    if payload is None or isinstance(payload, Meta):
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if isinstance(payload, (int, float, complex, np.generic)):
+        return 1
+    if isinstance(payload, (list, tuple)):
+        return sum(words_of(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(words_of(v) for v in payload.values())
+    raise MachineError(f"cannot count words of payload type {type(payload).__name__}")
+
+
+class Machine:
+    """``P`` processors, point-to-point messages, alpha-beta-gamma costs.
+
+    Parameters
+    ----------
+    P:
+        Number of processors (ranks ``0 .. P-1``).
+    params:
+        Machine cost parameters; defaults to the unit machine
+        (alpha = beta = gamma = 1), under which the ``time`` clock equals
+        ``F + W + S``.
+    trace:
+        If true, record every task in a :class:`~repro.machine.tracing.Trace`
+        (used by tests to verify the clocks against an offline longest
+        path; adds overhead).
+    """
+
+    def __init__(self, P: int, params: CostParams | None = None, trace: bool = False) -> None:
+        if P < 1:
+            raise MachineError(f"Machine requires P >= 1, got {P}")
+        self.P = P
+        self.params = params if params is not None else CostParams()
+        self.clocks = ClockSet(P, self.params.alpha, self.params.beta, self.params.gamma)
+        self.trace: Trace | None = Trace() if trace else None
+        # Aggregate (volume) counters; sends only, so volume counts each
+        # word moved once.
+        self.total_flops = 0.0
+        self.total_words_sent = 0.0
+        self.total_messages_sent = 0.0
+        #: Word volume per transfer label -- lets benchmarks decompose an
+        #: algorithm's traffic into phases (e.g. dmm-internal collectives
+        #: vs all-to-all redistributions in 3d-caqr-eg).
+        self.words_by_label: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_rank(self, p: int) -> None:
+        if not (0 <= p < self.P):
+            raise MachineError(f"rank {p} out of range for P={self.P}")
+
+    # ------------------------------------------------------------------
+    # Task primitives
+    # ------------------------------------------------------------------
+    def compute(self, p: int, flops: float, label: str = "") -> None:
+        """Charge ``flops`` operations on processor ``p``.
+
+        The caller performs the actual numpy arithmetic; the machine only
+        meters it.  Fused multiply-adds count as 2 operations by the
+        library-wide convention (DESIGN.md section 6).
+        """
+        self._check_rank(p)
+        if flops < 0:
+            raise MachineError(f"negative flop count {flops}")
+        if flops == 0:
+            return
+        self.clocks.local_compute(p, flops)
+        self.total_flops += flops
+        if self.trace is not None:
+            self.trace.append("compute", p, flops=flops, label=label)
+
+    def transfer(self, src: int, dst: int, payload: Any, label: str = "") -> Any:
+        """Send ``payload`` from ``src`` to ``dst`` and return it.
+
+        Charges one message of ``words_of(payload)`` words to both
+        endpoints and imposes the happens-before edge.  A self-transfer is
+        free (no message is needed to keep data in place), matching the
+        convention ``Bpp`` blocks in an all-to-all do not travel.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            return payload
+        w = words_of(payload)
+        sender_clock = self.clocks.send(src, w)
+        send_idx = -1
+        if self.trace is not None:
+            send_idx = self.trace.append("send", src, peer=dst, words=w, label=label)
+        self.clocks.recv(dst, w, sender_clock)
+        self.total_words_sent += w
+        self.total_messages_sent += 1
+        key = label or "unlabeled"
+        self.words_by_label[key] = self.words_by_label.get(key, 0.0) + w
+        if self.trace is not None:
+            self.trace.append("recv", dst, peer=src, words=w, match=send_idx, label=label)
+        return payload
+
+    def exchange_round(
+        self, transfers: Sequence[tuple[int, int, Any]], label: str = ""
+    ) -> list[Any]:
+        """Perform one round of simultaneous transfers.
+
+        In algorithms like bidirectional exchange and the index
+        all-to-all, every processor sends and receives within the same
+        round; the sends do not wait for the round's receives.  This
+        primitive schedules all sends before all receives so the
+        critical path reflects that parallel schedule -- delivering the
+        same messages one :meth:`transfer` at a time would create false
+        happens-before edges and inflate the measured costs.
+
+        Returns the payloads in input order.
+        """
+        staged = []
+        for src, dst, payload in transfers:
+            self._check_rank(src)
+            self._check_rank(dst)
+            if src == dst:
+                staged.append(None)
+                continue
+            w = words_of(payload)
+            snap = self.clocks.send(src, w)
+            send_idx = -1
+            if self.trace is not None:
+                send_idx = self.trace.append("send", src, peer=dst, words=w, label=label)
+            staged.append((dst, src, w, snap, send_idx))
+        key = label or "unlabeled"
+        for item in staged:
+            if item is None:
+                continue
+            dst, src, w, snap, send_idx = item
+            self.clocks.recv(dst, w, snap)
+            self.total_words_sent += w
+            self.total_messages_sent += 1
+            self.words_by_label[key] = self.words_by_label.get(key, 0.0) + w
+            if self.trace is not None:
+                self.trace.append("recv", dst, peer=src, words=w, match=send_idx, label=label)
+        return [payload for _src, _dst, payload in transfers]
+
+    def barrier(self) -> None:
+        """Zero-cost clock join across all processors (phase separation)."""
+        self.clocks.barrier()
+
+    # ------------------------------------------------------------------
+    # Flop-cost helpers (library-wide conventions)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def flops_gemm(I: int, J: int, K: int) -> float:
+        """Operation count of a dense I x K by K x J multiply.
+
+        ``IJK`` multiplications plus ``IJ(K-1)`` additions (paper
+        Section 4); 0 when any dimension is 0.
+        """
+        if min(I, J, K) <= 0:
+            return 0.0
+        return float(I) * J * (2 * K - 1)
+
+    @staticmethod
+    def flops_add(size: int) -> float:
+        """Operation count of an entrywise add/subtract of ``size`` words."""
+        return float(max(size, 0))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def report(self) -> CostReport:
+        """Snapshot of the execution's measured costs so far."""
+        return CostReport(
+            processors=self.P,
+            critical_flops=self.clocks.critical("flops"),
+            critical_words=self.clocks.critical("words"),
+            critical_messages=self.clocks.critical("messages"),
+            total_flops=self.total_flops,
+            total_words_sent=self.total_words_sent,
+            total_messages_sent=self.total_messages_sent,
+            modeled_time=self.clocks.critical("time"),
+            params=self.params,
+        )
+
+    def reset(self) -> None:
+        """Zero all clocks and counters (reuse the machine across runs)."""
+        self.clocks = ClockSet(self.P, self.params.alpha, self.params.beta, self.params.gamma)
+        self.total_flops = 0.0
+        self.total_words_sent = 0.0
+        self.total_messages_sent = 0.0
+        self.words_by_label = {}
+        if self.trace is not None:
+            self.trace = Trace(self.trace.max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine(P={self.P}, params={self.params.name!r})"
+
+
+def transfer_list(
+    machine: Machine, src: int, dst: int, arrays: Sequence[np.ndarray], label: str = ""
+) -> list[np.ndarray]:
+    """Transfer several arrays as one coalesced message.
+
+    Collectives coalesce all blocks bound for the same destination into a
+    single message (Section 3's "coalesce them into fewer, larger
+    messages"), so one alpha is paid for the whole batch.
+    """
+    out = machine.transfer(src, dst, list(arrays), label=label)
+    return list(out)

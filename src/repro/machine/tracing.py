@@ -1,0 +1,112 @@
+"""Optional event tracing for the simulated machine.
+
+When enabled, every task (compute / send / recv) is appended to a trace.
+Traces support two consumers: debugging (pretty printing, filtering) and
+DAG export to :mod:`networkx` for independent longest-path verification --
+the test suite cross-checks the online max-plus clocks against an offline
+longest-path computation on the exported DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One task in the execution DAG.
+
+    ``kind`` is ``"compute"``, ``"send"`` or ``"recv"``.  For sends and
+    receives, ``peer`` is the other endpoint and ``match`` is the index of
+    the matching send event (for receives) or -1.  ``flops``/``words``
+    carry the task's weights; a send or recv also weighs one message.
+    """
+
+    index: int
+    kind: str
+    proc: int
+    peer: int
+    flops: float
+    words: float
+    match: int
+    label: str
+
+
+class Trace:
+    """Append-only event log with a hard cap to bound memory."""
+
+    def __init__(self, max_events: int = 2_000_000) -> None:
+        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.truncated = False
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def append(
+        self,
+        kind: str,
+        proc: int,
+        peer: int = -1,
+        flops: float = 0.0,
+        words: float = 0.0,
+        match: int = -1,
+        label: str = "",
+    ) -> int:
+        """Record an event and return its index (or -1 if the cap was hit)."""
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return -1
+        idx = len(self.events)
+        self.events.append(TraceEvent(idx, kind, proc, peer, flops, words, match, label))
+        return idx
+
+    # ------------------------------------------------------------------
+    def to_dag(self):
+        """Export the trace as a :class:`networkx.DiGraph`.
+
+        Nodes are event indices with ``flops``/``words``/``messages``
+        attributes; edges encode program order per processor plus one edge
+        per send/recv pair.  Raises if the trace was truncated (the DAG
+        would be incomplete).
+        """
+        import networkx as nx
+
+        if self.truncated:
+            raise RuntimeError("trace was truncated; DAG export would be incomplete")
+        g = nx.DiGraph()
+        last_on_proc: dict[int, int] = {}
+        for ev in self.events:
+            msg = 1.0 if ev.kind in ("send", "recv") else 0.0
+            g.add_node(ev.index, flops=ev.flops, words=ev.words, messages=msg, kind=ev.kind, proc=ev.proc)
+            prev = last_on_proc.get(ev.proc)
+            if prev is not None:
+                g.add_edge(prev, ev.index)
+            last_on_proc[ev.proc] = ev.index
+            if ev.kind == "recv" and ev.match >= 0:
+                g.add_edge(ev.match, ev.index)
+        return g
+
+    def critical_path(self, metric: str) -> float:
+        """Offline longest path w.r.t. ``metric`` via topological DP.
+
+        This is the ground truth the online clocks must agree with; it is
+        O(V+E) on the exported DAG.
+        """
+        import networkx as nx
+
+        g = self.to_dag()
+        if g.number_of_nodes() == 0:
+            return 0.0
+        dist: dict[int, float] = {}
+        for node in nx.topological_sort(g):
+            w = g.nodes[node][metric]
+            best = 0.0
+            for pred in g.predecessors(node):
+                best = max(best, dist[pred])
+            dist[node] = best + w
+        return max(dist.values())

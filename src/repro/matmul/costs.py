@@ -1,0 +1,46 @@
+"""Predicted cost formulas for the multiplication kernels (Lemmas 2-4).
+
+These are the Theta-shapes (constants set to 1) used by the analysis
+tables and the scaling tests; measured costs should track them within
+constant factors.
+"""
+
+from __future__ import annotations
+
+from repro.util import ilog2
+
+
+def cost_mm(I: int, J: int, K: int) -> dict[str, float]:
+    """Lemma 2: a local multiply -- ``IJK`` mults + ``IJ(K-1)`` adds, no comms."""
+    return {"flops": float(I) * J * max(2 * K - 1, 1), "words": 0.0, "messages": 0.0}
+
+
+def cost_mm1d(I: int, J: int, K: int, P: int) -> dict[str, float]:
+    """Lemma 3 / Eq. 8: 1D grid with a broadcast or reduce of the small matrix."""
+    big = max(I, J, K)
+    return {
+        "flops": 2.0 * I * J * K / P,
+        "words": float(I * J * K) / big,
+        "messages": float(max(ilog2(max(P, 2)), 1)),
+    }
+
+
+def cost_mm3d(I: int, J: int, K: int, P: int) -> dict[str, float]:
+    """Lemma 4 / Eq. 9: cube-ish grid; words ``(IJK/P)^(2/3)``."""
+    work = float(I) * J * K / P
+    return {
+        "flops": 2.0 * work,
+        "words": work ** (2.0 / 3.0),
+        "messages": float(max(ilog2(max(P, 2)), 1)),
+    }
+
+
+def cost_alltoall_redistribution(I: int, J: int, P: int) -> dict[str, float]:
+    """Appendix A.3 bound for moving an ``I x J`` matrix between layouts.
+
+    ``B* <= ceil(IJ/P) + matrix-row slack``; the two-phase algorithm pays
+    ``(B* + P^2) log P`` words in ``O(log P)`` messages.
+    """
+    logp = float(max(ilog2(max(P, 2)), 1))
+    b_star = float(I) * J / P + J
+    return {"flops": 0.0, "words": (b_star + P * P) * logp, "messages": 2 * logp}

@@ -1,0 +1,123 @@
+"""3D processor grids for dmm (paper Section 4 and Appendix B).
+
+A :class:`Grid3D` arranges ``Q*R*S <= P`` processors in a logical brick;
+leftover processors idle (the paper's ``P = QRS + T`` device).  Grid
+fibers -- the 1D subgroups along each axis -- host the all-gathers and
+reduce-scatters of the dmm algorithm.
+
+:func:`choose_grid` picks ``Q = floor(I/rho)`` etc. with
+``rho = (IJK/P)^(1/3)`` per Lemma 4, clamped to the matrix dimensions so
+degenerate shapes (the 1D cases of Lemma 3) fall out naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.machine import MachineError
+
+
+@dataclass(frozen=True)
+class Grid3D:
+    """A ``Q x R x S`` logical grid over explicit machine ranks."""
+
+    Q: int
+    R: int
+    S: int
+    ranks: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if min(self.Q, self.R, self.S) < 1:
+            raise MachineError(f"grid dims must be >= 1, got {(self.Q, self.R, self.S)}")
+        if len(self.ranks) != self.Q * self.R * self.S:
+            raise MachineError(
+                f"grid {self.Q}x{self.R}x{self.S} needs {self.Q * self.R * self.S} ranks, "
+                f"got {len(self.ranks)}"
+            )
+        if len(set(self.ranks)) != len(self.ranks):
+            raise MachineError("grid ranks must be distinct")
+
+    @property
+    def size(self) -> int:
+        return self.Q * self.R * self.S
+
+    def rank(self, q: int, r: int, s: int) -> int:
+        """Machine rank of grid coordinate ``(q, r, s)``."""
+        if not (0 <= q < self.Q and 0 <= r < self.R and 0 <= s < self.S):
+            raise MachineError(f"grid coordinate {(q, r, s)} out of range")
+        return self.ranks[(q * self.R + r) * self.S + s]
+
+    def coord(self, rank: int) -> tuple[int, int, int]:
+        """Grid coordinate of a machine rank."""
+        idx = self.ranks.index(rank)
+        q, rem = divmod(idx, self.R * self.S)
+        r, s = divmod(rem, self.S)
+        return (q, r, s)
+
+    def fiber_r(self, q: int, s: int) -> list[int]:
+        """Ranks of the R-direction fiber through ``(q, ., s)`` (A all-gather)."""
+        return [self.rank(q, r, s) for r in range(self.R)]
+
+    def fiber_q(self, r: int, s: int) -> list[int]:
+        """Ranks of the Q-direction fiber through ``(., r, s)`` (B all-gather)."""
+        return [self.rank(q, r, s) for q in range(self.Q)]
+
+    def fiber_s(self, q: int, r: int) -> list[int]:
+        """Ranks of the S-direction fiber through ``(q, r, .)`` (C reduce-scatter)."""
+        return [self.rank(q, r, s) for s in range(self.S)]
+
+
+def choose_grid_dims(I: int, J: int, K: int, P: int) -> tuple[int, int, int]:
+    """Lemma 4's grid choice: ``(floor(I/rho), floor(J/rho), floor(K/rho))``.
+
+    ``rho = (IJK/P)^(1/3)``; each dimension is clamped to ``[1, dim]``.
+    The product never exceeds ``min(P, IJK)`` (floor guarantees
+    ``QRS <= IJK / rho^3 = P``).
+    """
+    if min(I, J, K) < 1:
+        raise MachineError(f"matrix dims must be >= 1, got {(I, J, K)}")
+    if P < 1:
+        raise MachineError(f"P must be >= 1, got {P}")
+    rho = (I * J * K / P) ** (1.0 / 3.0)
+    if rho < 1.0:
+        # More processors than scalar multiplications: one entry each.
+        return (I, J, K) if I * J * K <= P else _shrink_to(I, J, K, P)
+    Q = max(1, min(I, int(I / rho)))
+    R = max(1, min(J, int(J / rho)))
+    S = max(1, min(K, int(K / rho)))
+    while Q * R * S > P:  # clamping can only have pushed the product up
+        if Q >= max(R, S) and Q > 1:
+            Q -= 1
+        elif R >= S and R > 1:
+            R -= 1
+        else:
+            S -= 1
+    return (Q, R, S)
+
+
+def _shrink_to(I: int, J: int, K: int, P: int) -> tuple[int, int, int]:
+    """Largest grid with dims capped by (I, J, K) and product <= P."""
+    Q, R, S = I, J, K
+    while Q * R * S > P:
+        if Q >= max(R, S) and Q > 1:
+            Q -= 1
+        elif R >= S and R > 1:
+            R -= 1
+        else:
+            S -= 1
+    return (Q, R, S)
+
+
+def make_grid(
+    I: int, J: int, K: int, ranks: Sequence[int], dims: tuple[int, int, int] | None = None
+) -> Grid3D:
+    """Build a grid over a prefix of ``ranks`` (the rest idle)."""
+    P = len(ranks)
+    if dims is None:
+        dims = choose_grid_dims(I, J, K, P)
+    Q, R, S = dims
+    need = Q * R * S
+    if need > P:
+        raise MachineError(f"grid {dims} needs {need} ranks but only {P} available")
+    return Grid3D(Q, R, S, tuple(ranks[:need]))

@@ -1,0 +1,46 @@
+"""Local (single-processor) matrix multiplication with metered flops.
+
+``mm`` in the paper (Lemma 2): the conventional algorithm costs ``IJK``
+multiplications and ``IJ(K-1)`` additions.  numpy does the arithmetic;
+the machine meters it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import Machine
+
+
+def local_mm(
+    machine: Machine,
+    p: int,
+    A: np.ndarray,
+    B: np.ndarray,
+    conj_a: bool = False,
+    conj_b: bool = False,
+    label: str = "mm",
+) -> np.ndarray:
+    """``C = op(A) @ op(B)`` on processor ``p``, charging ``IJ(2K-1)`` flops.
+
+    ``conj_a`` / ``conj_b`` apply conjugate transposition to the operand
+    (the ``(.)^H`` of the paper; plain transpose for real dtypes).
+    """
+    opA = A.conj().T if conj_a else A
+    opB = B.conj().T if conj_b else B
+    I, K = opA.shape
+    K2, J = opB.shape
+    if K != K2:
+        raise ValueError(f"inner dimensions disagree: {opA.shape} @ {opB.shape}")
+    machine.compute(p, Machine.flops_gemm(I, J, K), label=label)
+    return opA @ opB
+
+
+def local_add(
+    machine: Machine, p: int, X: np.ndarray, Y: np.ndarray, subtract: bool = False, label: str = "add"
+) -> np.ndarray:
+    """Entrywise add/subtract on processor ``p``, charging ``size`` flops."""
+    if X.shape != Y.shape:
+        raise ValueError(f"shapes disagree: {X.shape} vs {Y.shape}")
+    machine.compute(p, float(X.size), label=label)
+    return X - Y if subtract else X + Y

@@ -1,0 +1,87 @@
+"""1D parallel matrix multiplication (paper Lemma 3).
+
+Two degenerate dmm cases on a 1D processor grid, used by 1d-caqr-eg:
+
+* :func:`mm1d_reduce` -- ``K = max(I,J,K)``: the operands are
+  row-distributed in matching layouts along the K dimension; every
+  processor multiplies its slabs locally and the partial products are
+  *reduced* to a root.  (Lines 6 and 11 of Algorithm 2 in Section 6.2.)
+* :func:`mm1d_broadcast` -- ``I = max(I,J,K)``: the left operand and
+  output are row-distributed; the small right factor is *broadcast* from
+  the root.  (Line 8.)
+
+Both use the auto-dispatched collectives, so for large blocks they hit
+the bidirectional-exchange bound ``O(IJ)`` / ``O(JK)`` words -- the
+log-factor saving over tsqr that motivates 1d-caqr-eg.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import CommContext, broadcast, reduce
+from repro.dist import DistMatrix
+from repro.machine import DistributionError
+from repro.matmul.local import local_mm
+
+
+def mm1d_reduce(
+    A: DistMatrix, B: DistMatrix, root: int, conj_a: bool = True
+) -> np.ndarray:
+    """``C = op(A) @ B`` reduced to machine rank ``root``.
+
+    ``A`` is ``K x I`` and ``B`` is ``K x J``, row-distributed in the
+    *same* layout (their K dimensions aligned); ``op`` is conjugate
+    transpose when ``conj_a`` (the common ``V^H X`` case).  Returns the
+    ``I x J`` product held by ``root``.
+    """
+    if A.machine is not B.machine:
+        raise DistributionError("operands live on different machines")
+    if not A.layout.same_as(B.layout):
+        raise DistributionError("mm1d_reduce requires matching row layouts")
+    machine = A.machine
+    I, J = A.n, B.n
+    dtype = np.result_type(A.dtype, B.dtype)
+
+    owners = A.layout.participants()
+    ranks = sorted(set(owners) | {root})
+    ctx = CommContext(machine, ranks)
+    partials: list[np.ndarray] = []
+    for r in ranks:
+        if r in A.blocks and A.layout.count(r) > 0:
+            partials.append(local_mm(machine, r, A.local(r), B.local(r), conj_a=conj_a, label="mm1d_partial"))
+        else:
+            partials.append(np.zeros((I, J), dtype=dtype))
+    if len(ranks) == 1:
+        return partials[0]
+    return reduce(ctx, ranks.index(root), partials)
+
+
+def mm1d_broadcast(
+    A: DistMatrix, B_root: np.ndarray, root: int
+) -> DistMatrix:
+    """``C = A @ B`` with ``B`` held at ``root``; ``C`` distributed like ``A``.
+
+    ``A`` is ``I x K`` row-distributed, ``B_root`` is ``K x J`` on machine
+    rank ``root``.  The root broadcasts ``B`` to all owners of ``A``; each
+    multiplies locally.
+    """
+    machine = A.machine
+    B_root = np.asarray(B_root)
+    if B_root.shape[0] != A.n:
+        raise DistributionError(
+            f"inner dimensions disagree: A is {A.shape}, B is {B_root.shape}"
+        )
+    owners = A.layout.participants()
+    ranks = sorted(set(owners) | {root})
+    if len(ranks) > 1:
+        ctx = CommContext(machine, ranks)
+        B = broadcast(ctx, ranks.index(root), B_root)
+    else:
+        B = B_root
+    dtype = np.result_type(A.dtype, B_root.dtype)
+    blocks = {
+        p: local_mm(machine, p, A.local(p), B, label="mm1d_local").astype(dtype, copy=False)
+        for p in owners
+    }
+    return DistMatrix(machine, A.layout, B_root.shape[1], blocks, dtype=dtype)

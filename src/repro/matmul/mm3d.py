@@ -1,0 +1,251 @@
+"""3D parallel matrix multiplication (paper Section 4 and Appendix B).
+
+The algorithm of [ABG+95] as the paper states it, end to end:
+
+1. an all-to-all redistributes both input operands from their row
+   layouts into the *dmm layout*: grid processor ``(q, r, s)`` receives
+   the ``r``-th part of ``A[Iq, Ks]`` and the ``q``-th part of
+   ``B[Ks, Jr]`` (balanced entrywise partitions of brick faces);
+2. all-gathers along R-fibers (for A) and Q-fibers (for B) replicate
+   the face blocks so every grid processor holds ``A[Iq, Ks]`` and
+   ``B[Ks, Jr]`` in full;
+3. a local mm computes ``Z(q,r,s) = A[Iq, Ks] @ B[Ks, Jr]``;
+4. reduce-scatters along S-fibers sum the ``Z`` slices into ``C[Iq, Jr]``,
+   leaving each grid processor the ``s``-th part;
+5. a second all-to-all delivers ``C`` into the requested output row
+   layout.
+
+Steps 1 and 5 are what 3d-caqr-eg pays for around each of its six
+multiplications (Section 7.2); this module always performs them because
+the paper's analysis charges them.  Cost shape for cube-ish multiplies
+(Lemma 4): ``gamma IJK/P + beta (IJK/P)^(2/3) + alpha log P`` plus the
+all-to-all terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import CommContext, all_gather, reduce_scatter
+from repro.collectives.alltoall import Item, all_to_all_index, all_to_all_two_phase
+from repro.dist import DistMatrix, RowLayout
+from repro.machine import DistributionError
+from repro.matmul.grid import Grid3D, make_grid
+from repro.matmul.local import local_mm
+from repro.matmul.operands import Operand, check_conformable
+from repro.util import balanced_partition
+
+
+def _run_alltoall(ctx: CommContext, items, method: str):
+    if method == "two_phase":
+        return all_to_all_two_phase(ctx, items)
+    if method == "index":
+        return all_to_all_index(ctx, items)
+    raise ValueError(f"unknown all-to-all method {method!r}")
+
+
+def mm3d(
+    A: Operand | DistMatrix,
+    B: Operand | DistMatrix,
+    out_layout: RowLayout,
+    grid: Grid3D | None = None,
+    dims: tuple[int, int, int] | None = None,
+    method: str = "two_phase",
+) -> DistMatrix:
+    """``C = A @ B`` on a 3D processor grid, ``C`` in ``out_layout``.
+
+    ``A``/``B`` are row-distributed matrices or :class:`Operand` views of
+    them (to multiply by a transpose).  ``grid`` overrides the Lemma 4
+    automatic choice; ``dims`` overrides only the grid dimensions.
+    ``method`` selects the redistribution all-to-all variant.
+    """
+    if isinstance(A, DistMatrix):
+        A = Operand(A)
+    if isinstance(B, DistMatrix):
+        B = Operand(B)
+    machine = A.dm.machine
+    if B.dm.machine is not machine:
+        raise DistributionError("operands live on different machines")
+    I, J, K = check_conformable(A, B)
+    if out_layout.m != I:
+        raise DistributionError(f"output layout has m={out_layout.m}, expected {I}")
+    dtype = np.result_type(A.dm.dtype, B.dm.dtype)
+
+    if grid is None:
+        grid = make_grid(I, J, K, list(range(machine.P)), dims=dims)
+    Q, R, S = grid.Q, grid.R, grid.S
+
+    Iparts = balanced_partition(I, Q)
+    Jparts = balanced_partition(J, R)
+    Kparts = balanced_partition(K, S)
+
+    all_ranks = sorted(set(A.sources()) | set(B.sources()) | set(grid.ranks) | set(out_layout.participants()))
+    ctx = CommContext(machine, all_ranks)
+    g = {r: i for i, r in enumerate(all_ranks)}  # machine rank -> group rank
+
+    # ------------------------------------------------------------------
+    # Phase 1: both operands -> dmm layout, in ONE all-to-all.
+    # ------------------------------------------------------------------
+    items: list[list[Item]] = [[] for _ in range(ctx.size)]
+
+    def emit_operand(op: Operand, name: str, row_parts, col_parts, split_ways: int, owner_of_part):
+        """Split each brick face among its fiber and emit routed pieces."""
+        for a, rows in enumerate(row_parts):
+            for b, cols in enumerate(col_parts):
+                L = len(rows) * len(cols)
+                if L == 0:
+                    continue
+                splits = balanced_partition(L, split_ways)
+                starts = [sp.start for sp in splits] + [L]
+                for src in op.sources():
+                    got = op.entries_in_rect(src, rows, cols)
+                    if got is None:
+                        continue
+                    positions, values = got
+                    cut = np.searchsorted(positions, starts)
+                    for w in range(split_ways):
+                        lo, hi = cut[w], cut[w + 1]
+                        if hi <= lo:
+                            continue
+                        dest = owner_of_part(a, b, w)
+                        tag = (name, a, b, w, positions[lo:hi])
+                        items[g[src]].append((g[dest], tag, values[lo:hi]))
+
+    emit_operand(Operand(A.dm, A.op), "A", Iparts, Kparts, R, lambda q, s, r: grid.rank(q, r, s))
+    emit_operand(Operand(B.dm, B.op), "B", Kparts, Jparts, Q, lambda s, r, q: grid.rank(q, r, s))
+
+    received = _run_alltoall(ctx, items, method)
+
+    # Assemble each grid processor's face-part buffers.
+    # part_key: (name, q_or_s, s_or_r, w) -> flat buffer
+    buffers: dict[tuple, np.ndarray] = {}
+    for q in range(Q):
+        for s in range(S):
+            L = len(Iparts[q]) * len(Kparts[s])
+            for r, sp in enumerate(balanced_partition(L, R)):
+                buffers[("A", q, s, r)] = np.zeros(len(sp), dtype=dtype)
+    for s in range(S):
+        for r in range(R):
+            L = len(Kparts[s]) * len(Jparts[r])
+            for q, sp in enumerate(balanced_partition(L, Q)):
+                buffers[("B", s, r, q)] = np.zeros(len(sp), dtype=dtype)
+
+    for gr_rank in range(ctx.size):
+        for tag, values in received[gr_rank]:
+            name, a, b, w, positions = tag
+            L_ab = (
+                len(Iparts[a]) * len(Kparts[b]) if name == "A" else len(Kparts[a]) * len(Jparts[b])
+            )
+            sp = balanced_partition(L_ab, R if name == "A" else Q)[w]
+            buffers[(name, a, b, w)][positions - sp.start] = values
+
+    # ------------------------------------------------------------------
+    # Phase 2: all-gathers along fibers replicate the face blocks.
+    # ------------------------------------------------------------------
+    Ablocks: dict[tuple[int, int, int], np.ndarray] = {}
+    for q in range(Q):
+        for s in range(S):
+            fiber = grid.fiber_r(q, s)
+            parts = [buffers[("A", q, s, r)] for r in range(R)]
+            if R > 1:
+                fx = CommContext(machine, fiber)
+                everywhere = all_gather(fx, parts)
+                full = {r: np.concatenate(everywhere[r]) for r in range(R)}
+            else:
+                full = {0: parts[0]}
+            for r in range(R):
+                Ablocks[(q, r, s)] = full[r].reshape(len(Iparts[q]), len(Kparts[s]))
+    Bblocks: dict[tuple[int, int, int], np.ndarray] = {}
+    for s in range(S):
+        for r in range(R):
+            fiber = grid.fiber_q(r, s)
+            parts = [buffers[("B", s, r, q)] for q in range(Q)]
+            if Q > 1:
+                fx = CommContext(machine, fiber)
+                everywhere = all_gather(fx, parts)
+                full = {q: np.concatenate(everywhere[q]) for q in range(Q)}
+            else:
+                full = {0: parts[0]}
+            for q in range(Q):
+                Bblocks[(q, r, s)] = full[q].reshape(len(Kparts[s]), len(Jparts[r]))
+
+    # ------------------------------------------------------------------
+    # Phase 3: local multiplications.
+    # ------------------------------------------------------------------
+    Z: dict[tuple[int, int, int], np.ndarray] = {}
+    for q in range(Q):
+        for r in range(R):
+            for s in range(S):
+                Z[(q, r, s)] = local_mm(
+                    machine, grid.rank(q, r, s), Ablocks[(q, r, s)], Bblocks[(q, r, s)], label="mm3d_local"
+                )
+
+    # ------------------------------------------------------------------
+    # Phase 4: reduce-scatters along S-fibers sum C[Iq, Jr].
+    # ------------------------------------------------------------------
+    Cparts: dict[tuple[int, int, int], np.ndarray] = {}
+    for q in range(Q):
+        for r in range(R):
+            L = len(Iparts[q]) * len(Jparts[r])
+            splits = balanced_partition(L, S)
+            if S > 1:
+                fiber = grid.fiber_s(q, r)
+                fx = CommContext(machine, fiber)
+                per_rank = [
+                    [Z[(q, r, s)].reshape(-1)[sp.start : sp.stop] for sp in splits]
+                    for s in range(S)
+                ]
+                summed = reduce_scatter(fx, per_rank)
+                for s in range(S):
+                    Cparts[(q, r, s)] = summed[s]
+            else:
+                Cparts[(q, r, 0)] = Z[(q, r, 0)].reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Phase 5: C -> requested row layout, in ONE all-to-all.
+    # ------------------------------------------------------------------
+    out_owners = out_layout.owners()
+    items2: list[list[Item]] = [[] for _ in range(ctx.size)]
+    for q in range(Q):
+        rows = Iparts[q]
+        row_owners = out_owners[rows.start : rows.stop]
+        dests = np.unique(row_owners)
+        for r in range(R):
+            cols = Jparts[r]
+            W = len(cols)
+            L = len(rows) * W
+            splits = balanced_partition(L, S)
+            for s in range(S):
+                sp = splits[s]
+                part = Cparts[(q, r, s)]
+                src = grid.rank(q, r, s)
+                for t in dests:
+                    ii = np.flatnonzero(row_owners == t)
+                    positions = (ii[:, None] * W + np.arange(W)[None, :]).reshape(-1)
+                    lo = np.searchsorted(positions, sp.start)
+                    hi = np.searchsorted(positions, sp.stop)
+                    if hi <= lo:
+                        continue
+                    pos_sel = positions[lo:hi]
+                    tag = ("C", q, r, pos_sel)
+                    items2[g[src]].append((g[int(t)], tag, part[pos_sel - sp.start]))
+
+    received2 = _run_alltoall(ctx, items2, method)
+
+    out_blocks: dict[int, np.ndarray] = {
+        t: np.zeros((out_layout.count(t), J), dtype=dtype) for t in out_layout.participants()
+    }
+    for t in out_layout.participants():
+        rows_t = out_layout.rows_of(t)
+        blk = out_blocks[t]
+        for tag, values in received2[g[t]]:
+            _name, q, r, pos = tag
+            rows = Iparts[q]
+            cols = Jparts[r]
+            W = len(cols)
+            ii = pos // W
+            jj = pos % W
+            lrows = np.searchsorted(rows_t, rows.start + ii)
+            blk[lrows, cols.start + jj] = values
+
+    return DistMatrix(machine, out_layout, J, out_blocks, dtype=dtype)

@@ -1,0 +1,104 @@
+"""Operand views of row-distributed matrices for dmm redistributions.
+
+The 3D multiplication works in *multiplication coordinates*: the left
+factor is ``I x K``, the right ``K x J``, the output ``I x J``.  Matrices
+arrive row-distributed, possibly as their (conjugate) transpose -- in
+3d-caqr-eg the left factor ``V^H`` is "row-cyclic, transposed"
+(Section 7.2).  An :class:`Operand` adapts a
+:class:`~repro.dist.DistMatrix` to multiplication coordinates and can
+enumerate, per source processor, the entries falling in any rectangle of
+those coordinates, as (flat row-major position, value) pairs.
+
+Positions are deterministic given the layouts, so they travel as
+zero-cost :class:`~repro.machine.Meta` -- only values count as words,
+matching the model's accounting for MPI-datatype-style redistribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist import DistMatrix
+from repro.machine import DistributionError
+
+
+class Operand:
+    """A distributed matrix viewed as a multiplication operand.
+
+    ``op`` is ``"N"`` (as stored), ``"T"`` (transpose) or ``"H"``
+    (conjugate transpose).
+    """
+
+    def __init__(self, dm: DistMatrix, op: str = "N") -> None:
+        if op not in ("N", "T", "H"):
+            raise ValueError(f"op must be 'N', 'T' or 'H', got {op!r}")
+        self.dm = dm
+        self.op = op
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape in multiplication coordinates."""
+        m, n = self.dm.shape
+        return (m, n) if self.op == "N" else (n, m)
+
+    def sources(self) -> list[int]:
+        """Machine ranks holding at least one entry."""
+        return self.dm.layout.participants()
+
+    def entries_in_rect(
+        self, p: int, rows: range, cols: range
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Entries of this operand owned by rank ``p`` inside a rectangle.
+
+        Returns ``(positions, values)`` where ``positions`` are flat
+        row-major indices within the ``len(rows) x len(cols)`` rectangle
+        and ``values`` the matching entries, both sorted by position --
+        or ``None`` when ``p`` owns nothing there.
+        """
+        layout = self.dm.layout
+        owned = layout.rows_of(p)
+        if owned.size == 0:
+            return None
+        local = self.dm.local(p)
+        W = len(cols)
+        if W == 0 or len(rows) == 0:
+            return None
+        if self.op == "N":
+            lo = np.searchsorted(owned, rows.start)
+            hi = np.searchsorted(owned, rows.stop)
+            if hi <= lo:
+                return None
+            ii = owned[lo:hi] - rows.start  # brick-row index of each owned row
+            vals = local[lo:hi, cols.start : cols.stop]
+            positions = (ii[:, None] * W + np.arange(W)[None, :]).reshape(-1)
+            return positions, vals.reshape(-1)
+        # Transposed: p owns whole *columns* of the operand.
+        lo = np.searchsorted(owned, cols.start)
+        hi = np.searchsorted(owned, cols.stop)
+        if hi <= lo:
+            return None
+        kk = owned[lo:hi] - cols.start  # brick-column index of owned columns
+        vals = local[lo:hi, rows.start : rows.stop]  # (ncols_owned, nrows)
+        if self.op == "H":
+            vals = vals.conj()
+        vals = vals.T  # (nrows, ncols_owned), row-major matches positions
+        positions = (np.arange(len(rows))[:, None] * W + kk[None, :]).reshape(-1)
+        return positions, np.ascontiguousarray(vals).reshape(-1)
+
+    def materialize(self) -> np.ndarray:
+        """Global operand in multiplication coordinates (debug only; free)."""
+        X = self.dm.to_global()
+        if self.op == "N":
+            return X
+        return X.conj().T if self.op == "H" else X.T
+
+
+def check_conformable(A: Operand, B: Operand) -> tuple[int, int, int]:
+    """Validate ``A (I x K) @ B (K x J)`` and return ``(I, J, K)``."""
+    I, K = A.shape
+    K2, J = B.shape
+    if K != K2:
+        raise DistributionError(
+            f"operand shapes not conformable: {A.shape} @ {B.shape}"
+        )
+    return I, J, K

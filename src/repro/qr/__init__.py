@@ -1,0 +1,88 @@
+"""QR decomposition algorithms: the paper's contributions and baselines.
+
+Contributions:
+
+* :func:`~repro.qr.tsqr.tsqr` -- tall-skinny QR with Householder
+  reconstruction (Section 5, [BDG+15]);
+* :func:`~repro.qr.caqr1d.qr_1d_caqr_eg` -- 1d-caqr-eg (Section 6,
+  Theorem 2);
+* :func:`~repro.qr.caqr3d.qr_3d_caqr_eg` -- 3d-caqr-eg (Section 7,
+  Theorem 1), the paper's main algorithm.
+
+Baselines (Section 8.1): 1D unblocked Householder, 2D blocked
+Householder, caqr.  Shared kernels live in
+:mod:`~repro.qr.householder`; parameter policies in
+:mod:`~repro.qr.params`; validation in :mod:`~repro.qr.validate`.
+"""
+
+from repro.qr.applyq import apply_q_1d, apply_q_3d, form_q_1d, solve_least_squares
+from repro.qr.baselines import qr_caqr_2d, qr_house_1d, qr_house_2d
+from repro.qr.caqr1d import CAQR1DResult, qr_1d_caqr_eg
+from repro.qr.caqr3d import CAQR3DResult, qr_3d_caqr_eg
+from repro.qr.qreg_iter import (
+    RightLooking1DResult,
+    RightLookingQR,
+    qr_1d_caqr_eg_rightlooking,
+    qr_eg_hybrid,
+    qr_eg_rightlooking,
+)
+from repro.qr.wide import WideQR, qr_wide_3d, qr_wide_sequential
+from repro.qr.householder import (
+    PanelQR,
+    apply_wy,
+    explicit_q,
+    larfg,
+    local_geqrt,
+    reconstruct_t,
+    t_from_v,
+)
+from repro.qr.params import (
+    choose_b_1d,
+    choose_b_3d,
+    choose_bstar,
+    theorem1_constraint_ok,
+    theorem2_constraint_ok,
+)
+from repro.qr.qreg import qr_eg_sequential
+from repro.qr.tsqr import TSQRResult, tsqr
+from repro.qr.validate import QRDiagnostics, qr_diagnostics, validate_result
+
+__all__ = [
+    "CAQR1DResult",
+    "CAQR3DResult",
+    "PanelQR",
+    "QRDiagnostics",
+    "RightLooking1DResult",
+    "RightLookingQR",
+    "TSQRResult",
+    "WideQR",
+    "apply_q_1d",
+    "apply_q_3d",
+    "apply_wy",
+    "form_q_1d",
+    "qr_1d_caqr_eg_rightlooking",
+    "qr_eg_hybrid",
+    "qr_eg_rightlooking",
+    "qr_wide_3d",
+    "qr_wide_sequential",
+    "solve_least_squares",
+    "choose_b_1d",
+    "choose_b_3d",
+    "choose_bstar",
+    "explicit_q",
+    "larfg",
+    "local_geqrt",
+    "qr_1d_caqr_eg",
+    "qr_3d_caqr_eg",
+    "qr_caqr_2d",
+    "qr_diagnostics",
+    "qr_eg_sequential",
+    "qr_house_1d",
+    "qr_house_2d",
+    "reconstruct_t",
+    "t_from_v",
+    "theorem1_constraint_ok",
+    "theorem2_constraint_ok",
+    "tsqr",
+    "validate_result",
+]

@@ -1,0 +1,123 @@
+"""Applying and forming Q from the distributed Householder representation.
+
+A QR factorization is only useful if Q can be *used*: least squares
+needs ``Q^H b``, eigenvalue back-transformations need ``Q C``, and
+orthonormal bases need explicit leading columns.  These operations are
+the paper's Eq. 4 applied as a library primitive:
+
+    (I - V T V^H)^(H) C  =  C - V (T^(H) (V^H C))
+
+evaluated right-to-left (the paper's arithmetic-minimizing order) with
+1D multiplications when ``V`` is row-distributed with ``T`` on a root,
+or 3D multiplications when ``T`` is distributed (3d-caqr-eg's output
+contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist import DistMatrix, head_layout
+from repro.machine import DistributionError
+from repro.matmul import Operand, local_mm, mm1d_broadcast, mm1d_reduce, mm3d
+
+
+def apply_q_1d(
+    V: DistMatrix,
+    T: np.ndarray,
+    C: DistMatrix,
+    root: int,
+    adjoint: bool = False,
+) -> DistMatrix:
+    """Apply ``Q = I - V T V^H`` (or ``Q^H``) to a conforming matrix.
+
+    ``V`` (``m x n``) and ``C`` (``m x k``) must share a row layout;
+    ``T`` (``n x n``) lives on ``root`` -- the tsqr / 1d-caqr-eg output
+    contract.  Returns ``Q C`` distributed like ``C``.  Costs: two 1D
+    multiplications (reduce + broadcast) plus root-local work, i.e.
+    ``O(mnk/P)`` flops, ``O(nk)`` words, ``O(log P)`` messages.
+    """
+    if not V.layout.same_as(C.layout):
+        raise DistributionError("apply_q_1d requires V and C in the same row layout")
+    machine = V.machine
+    M1 = mm1d_reduce(V, C, root, conj_a=True)              # V^H C -> root
+    M2 = local_mm(machine, root, T, M1, conj_a=adjoint)    # T M1 (or T^H M1)
+    Y = mm1d_broadcast(V, M2, root)                            # V M2
+    blocks = {}
+    for p in C.layout.participants():
+        machine.compute(p, float(C.local(p).size), label="apply_q_sub")
+        blocks[p] = C.local(p) - Y.local(p)
+    return DistMatrix(machine, C.layout, C.n, blocks, dtype=np.result_type(C.dtype, V.dtype))
+
+
+def apply_q_3d(
+    V: DistMatrix,
+    T: DistMatrix,
+    C: DistMatrix,
+    adjoint: bool = False,
+    method: str = "two_phase",
+) -> DistMatrix:
+    """Apply ``Q`` (or ``Q^H``) with 3D multiplications throughout.
+
+    The 3d-caqr-eg output contract: ``V`` row-distributed like the
+    original matrix, ``T`` distributed like its leading ``n`` rows.
+    Each of the three products runs as a dmm with all-to-all
+    redistributions, mirroring the inductive case of Section 7.2.
+    """
+    if V.machine is not T.machine or V.machine is not C.machine:
+        raise DistributionError("operands live on different machines")
+    machine = V.machine
+    n = V.n
+    small = head_layout(V.layout, n)
+    M1 = mm3d(Operand(V, "H"), C, small, method=method)        # n x k
+    # For Q: M2 = T M1;  for Q^H: M2 = T^H M1.
+    M2 = mm3d(Operand(T, "H" if adjoint else "N"), M1, small, method=method)
+    Y = mm3d(V, M2, C.layout, method=method)
+    blocks = {}
+    for p in C.layout.participants():
+        machine.compute(p, float(C.local(p).size), label="apply_q_sub")
+        blocks[p] = C.local(p) - Y.local(p)
+    return DistMatrix(machine, C.layout, C.n, blocks, dtype=np.result_type(C.dtype, V.dtype))
+
+
+def form_q_1d(V: DistMatrix, T: np.ndarray, root: int, n_cols: int | None = None) -> DistMatrix:
+    """Materialize the leading ``n_cols`` columns of ``Q``, distributed.
+
+    ``Q[:, :k] = (I - V T V^H) [I_k; 0]``: built by applying Q to
+    identity columns, the numerically stable route App. C takes.
+    """
+    machine = V.machine
+    m, n = V.shape
+    k = n_cols if n_cols is not None else n
+    if not (1 <= k <= n):
+        raise DistributionError(f"n_cols must be in [1, {n}], got {k}")
+    blocks = {}
+    for p in V.layout.participants():
+        rows = V.layout.rows_of(p)
+        E = np.zeros((rows.size, k), dtype=V.dtype)
+        local_diag = np.flatnonzero(rows < k)
+        E[local_diag, rows[local_diag]] = 1.0
+        blocks[p] = E
+    E_dist = DistMatrix(machine, V.layout, k, blocks, dtype=V.dtype)
+    return apply_q_1d(V, T, E_dist, root)
+
+
+def solve_least_squares(
+    V: DistMatrix, T: np.ndarray, R: np.ndarray, b: DistMatrix, root: int
+) -> np.ndarray:
+    """Min ``||A x - b||_2`` given ``A``'s Householder factorization.
+
+    ``y = (Q^H b)[:n]`` via :func:`apply_q_1d`, then a triangular solve
+    on the root.  Returns ``x`` (``n x k``) held by the root.
+    """
+    import scipy.linalg
+
+    machine = V.machine
+    n = V.n
+    y = apply_q_1d(V, T, b, root, adjoint=True)
+    # The leading n rows of y live in the root's leading local rows
+    # (tsqr's distribution contract guarantees the root owns them).
+    y_top = y.local(root)[:n]
+    x = scipy.linalg.solve_triangular(R, y_top, lower=False)
+    machine.compute(root, float(n) * n * y_top.shape[1], label="ls_backsolve")
+    return x

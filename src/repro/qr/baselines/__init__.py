@@ -1,0 +1,21 @@
+"""Baseline QR algorithms the paper compares against (Section 8.1).
+
+* :func:`~repro.qr.baselines.house1d.qr_house_1d` -- unblocked 1D
+  Householder (Table 3 row 1);
+* :func:`~repro.qr.baselines.house2d.qr_house_2d` -- blocked 2D
+  block-cyclic Householder, the ScaLAPACK pattern (Table 2 row 1);
+* :func:`~repro.qr.baselines.caqr2d.qr_caqr_2d` -- caqr [DGHL12]:
+  d-house with tsqr panels (Table 2 row 2).
+"""
+
+from repro.qr.baselines.caqr2d import qr_caqr_2d
+from repro.qr.baselines.house1d import House1DResult, qr_house_1d
+from repro.qr.baselines.house2d import House2DResult, qr_house_2d
+
+__all__ = [
+    "House1DResult",
+    "House2DResult",
+    "qr_caqr_2d",
+    "qr_house_1d",
+    "qr_house_2d",
+]

@@ -1,0 +1,111 @@
+"""d-house on a 1D layout: unblocked distributed Householder QR.
+
+The first row of the paper's Table 3: Householder's original
+(right-looking, b = 1) algorithm with the matrix distributed by rows.
+Each column step performs two small all-reduces -- one to form the
+reflector, one for the trailing-matrix update row ``w = v^H A`` -- so
+the algorithm moves ``Theta(n^2 log P)`` words in ``Theta(n log P)``
+messages: latency *linear in n*, the cost tsqr and 1d-caqr-eg remove.
+
+Same I/O contract as tsqr: each participant owns at least ``n`` rows,
+the root owns the leading ``n`` rows; ``V`` comes back distributed,
+``T`` and ``R`` on the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.collectives import CommContext, all_reduce_binomial
+from repro.dist import DistMatrix
+
+from repro.matmul import mm1d_reduce
+from repro.qr.tsqr import check_tsqr_distribution
+
+
+@dataclass
+class House1DResult:
+    """Householder-form output of 1D unblocked Householder QR."""
+
+    V: DistMatrix
+    T: np.ndarray
+    R: np.ndarray
+    root: int
+
+
+def qr_house_1d(A: DistMatrix, root: int = 0) -> House1DResult:
+    """Unblocked 1D Householder QR of a tall-skinny distributed matrix."""
+    machine = A.machine
+    n = A.n
+    parts = check_tsqr_distribution(A, root)
+    ctx = CommContext(machine, parts)
+    dtype = np.result_type(A.dtype, np.float64)
+
+    work = {p: A.local(p).astype(dtype, copy=True) for p in parts}
+    V = {p: np.zeros((A.layout.count(p), n), dtype=dtype) for p in parts}
+    rows = {p: A.layout.rows_of(p) for p in parts}
+    taus = np.zeros(n, dtype=dtype)
+
+    for j in range(n):
+        # Form the reflector: all-reduce [alpha_contribution, ||x||^2].
+        contribs = []
+        for p in parts:
+            below = rows[p] >= j
+            x = work[p][below, j]
+            alpha = work[p][rows[p] == j, j]
+            normsq = np.vdot(x, x).real - (np.vdot(alpha, alpha).real if alpha.size else 0.0)
+            contribs.append(np.array([alpha[0] if alpha.size else 0.0, normsq], dtype=dtype))
+            machine.compute(p, 2.0 * x.size, label="house1d_norm")
+        stat = all_reduce_binomial(ctx, contribs)
+        alpha = stat[0]
+        xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
+
+        if xnorm == 0.0 and alpha == 0.0:
+            taus[j] = 0.0
+            continue
+        from repro.qr.householder import sgn
+
+        beta = -sgn(alpha) * float(np.hypot(abs(alpha), xnorm))
+        tau = 2.0 / (1.0 + xnorm**2 / abs(alpha - beta) ** 2)
+        taus[j] = tau
+
+        # Scale v locally; owner of row j sets the unit diagonal and beta.
+        for p in parts:
+            below = rows[p] >= j
+            V[p][below, j] = work[p][below, j] / (alpha - beta)
+            V[p][rows[p] == j, j] = 1.0
+            work[p][rows[p] == j, j] = beta
+            strictly = rows[p] > j
+            work[p][strictly, j] = 0.0
+            machine.compute(p, float(np.count_nonzero(below)), label="house1d_scale")
+
+        # Trailing update: w = v^H A[:, j+1:], then A -= conj(tau) v w.
+        if j + 1 < n:
+            partials = []
+            for p in parts:
+                below = rows[p] >= j
+                v = V[p][below, j]
+                partials.append(v.conj() @ work[p][below, j + 1 :])
+                machine.compute(p, 2.0 * v.size * (n - j - 1), label="house1d_w")
+            w = all_reduce_binomial(ctx, partials)
+            for p in parts:
+                below = rows[p] >= j
+                v = V[p][below, j]
+                work[p][below, j + 1 :] -= np.multiply.outer(tau * v, w)
+                machine.compute(p, 2.0 * v.size * (n - j - 1), label="house1d_update")
+
+    Vd = DistMatrix(machine, A.layout, n, V, dtype=dtype)
+
+    # T on the root from the Gram matrix (one reduce, Puglisi formula).
+    G = mm1d_reduce(Vd, Vd, root, conj_a=True)
+    Tinv = np.triu(G, 1) + np.diag(np.diag(G).real) / 2.0
+    T = scipy.linalg.solve_triangular(Tinv, np.eye(n, dtype=dtype), lower=False)
+    machine.compute(root, float(n) ** 3 / 3.0, label="house1d_T")
+
+    # Gather R's rows (all held within the leading n rows, on the root
+    # already by the distribution requirement).
+    R = np.triu(work[root][:n, :])
+    return House1DResult(V=Vd, T=T, R=R, root=root)

@@ -1,0 +1,133 @@
+"""Shared panel/update machinery for the 2D block-cyclic baselines.
+
+Both d-house (blocked) and caqr factor a width-``b`` panel, broadcast
+the panel's reflectors row-wise, and apply the block reflector to the
+trailing matrix with column-group reductions -- the classic
+right-looking ScaLAPACK pdgeqrf communication pattern (paper
+Section 8.1).  They differ only in how the panel is factored, so the
+broadcast and update live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import CommContext, all_reduce, broadcast
+from repro.dist.blockcyclic import BlockCyclic2D
+from repro.machine import Machine
+from repro.matmul import local_mm
+
+
+def row_broadcast_panel(
+    A_bc: BlockCyclic2D,
+    Vrow: dict[int, np.ndarray],
+    T: np.ndarray,
+    jcol: int,
+) -> None:
+    """Broadcast each grid row's panel reflector rows (plus ``T``) row-wise.
+
+    ``Vrow[i]`` is grid row ``i``'s slice of the panel's ``V`` (trailing
+    rows x panel width), held by processor ``(i, jcol)``.  After the
+    call every processor in grid row ``i`` holds ``Vrow[i]`` and ``T``
+    (the simulator shares the arrays; receivers treat them read-only).
+    """
+    machine = A_bc.machine
+    if A_bc.pc == 1:
+        return
+    for i in range(A_bc.pr):
+        group = A_bc.row_group(i)
+        ctx = CommContext(machine, group)
+        payload = np.concatenate([Vrow[i].reshape(-1), T.reshape(-1)])
+        broadcast(ctx, group.index(A_bc.rank(i, jcol)), payload)
+
+
+def update_trailing(
+    A_bc: BlockCyclic2D,
+    j0: int,
+    w: int,
+    Vrow: dict[int, np.ndarray],
+    T: np.ndarray,
+) -> None:
+    """Apply ``(I - V T V^H)^H`` to the trailing matrix (columns > j0+w-1).
+
+    For each processor column ``j``: every grid row computes its local
+    contribution to ``W = V^H A_trail``, the column group all-reduces
+    ``W``, then each processor forms ``M = T^H W`` redundantly and
+    updates its local rows ``A -= V M``.  Row layouts never change, so
+    no data moves besides the reductions.
+    """
+    machine = A_bc.machine
+    first_col = j0 + w
+    if first_col >= A_bc.n:
+        return
+    for j in range(A_bc.pc):
+        cols = A_bc.cols_of(j, start=first_col)
+        if cols.size == 0:
+            continue
+        col_idx0 = np.searchsorted(A_bc.cols_of(j), cols[0])
+        partials = []
+        row_slices: dict[int, np.ndarray] = {}
+        for i in range(A_bc.pr):
+            rows = A_bc.rows_of(i)
+            sel = rows >= j0
+            row_slices[i] = sel
+            Aloc = A_bc.blocks[(i, j)][sel, col_idx0:]
+            partials.append(
+                local_mm(machine, A_bc.rank(i, j), Vrow[i], Aloc, conj_a=True, label="panel_W")
+            )
+        if A_bc.pr > 1:
+            ctx = CommContext(machine, A_bc.col_group(j))
+            W = all_reduce(ctx, partials)
+        else:
+            W = partials[0]
+        for i in range(A_bc.pr):
+            rank = A_bc.rank(i, j)
+            M = local_mm(machine, rank, T, W, conj_a=True, label="panel_M")
+            upd = local_mm(machine, rank, Vrow[i], M, label="panel_apply")
+            machine.compute(rank, float(upd.size), label="panel_sub")
+            A_bc.blocks[(i, j)][row_slices[i], col_idx0:] -= upd
+
+
+def collect_vrow(
+    V_bc: BlockCyclic2D, j0: int, w: int, jcol: int
+) -> dict[int, np.ndarray]:
+    """Each grid row's trailing slice of the panel's reflector columns.
+
+    Reads grid column ``jcol``'s local V storage; free (local slicing).
+    """
+    out: dict[int, np.ndarray] = {}
+    col_idx = np.searchsorted(V_bc.cols_of(jcol), j0)
+    for i in range(V_bc.pr):
+        rows = V_bc.rows_of(i)
+        sel = rows >= j0
+        out[i] = V_bc.blocks[(i, jcol)][sel, col_idx : col_idx + w]
+    return out
+
+
+def gram_t_panel(
+    A_bc: BlockCyclic2D, jcol: int, Vrow: dict[int, np.ndarray], machine: Machine
+) -> np.ndarray:
+    """Panel kernel ``T`` from the Gram matrix, redundantly on the column.
+
+    Column procs all-reduce ``V^H V`` (``w x w``) and each inverts the
+    Puglisi formula locally -- ``O(w^2 log pr)`` words, ``O(w^3)``
+    redundant flops, the standard trade for avoiding a later broadcast.
+    """
+    import scipy.linalg
+
+    w = next(iter(Vrow.values())).shape[1]
+    partials = []
+    for i in range(A_bc.pr):
+        partials.append(
+            local_mm(machine, A_bc.rank(i, jcol), Vrow[i], Vrow[i], conj_a=True, label="panel_gram")
+        )
+    if A_bc.pr > 1:
+        ctx = CommContext(machine, A_bc.col_group(jcol))
+        G = all_reduce(ctx, partials)
+    else:
+        G = partials[0]
+    Tinv = np.triu(G, 1) + np.diag(np.diag(G).real) / 2.0
+    T = scipy.linalg.solve_triangular(Tinv, np.eye(w, dtype=G.dtype), lower=False)
+    for i in range(A_bc.pr):
+        machine.compute(A_bc.rank(i, jcol), float(w) ** 3 / 3.0, label="panel_T")
+    return T

@@ -1,0 +1,205 @@
+"""Householder QR kernels (paper Section 2.3).
+
+From-scratch larfg/geqrt-style routines: reflector generation, panel
+factorization returning the Householder representation ``(V, T, R)``
+with ``V`` unit lower trapezoidal and ``T`` upper triangular, and
+metered application of block reflectors.  numpy supplies the scalar
+arithmetic; every operation is charged to the simulated machine.
+
+Conventions (verified by the test suite for float64 and complex128):
+
+* reflectors are Hermitian: ``H_j = I - tau_j v_j v_j^H`` with
+  ``v_j[0] = 1`` and *real* ``tau_j = 2/|v_j|^2``, annihilating with
+  ``H_j x = beta e1`` where ``beta = -sgn(x[0]) |x|`` (complex ``beta``
+  for complex data -- the classical Householder convention, identical
+  to LAPACK's for real data);
+* the panel factorization applies ``H_n ... H_1`` to A, so
+  ``A = (H_1 ... H_n) [R; 0] = (I - V T V^H) [R; 0]``
+  with ``T`` accumulated from the taus by the Schreiber-Van Loan
+  recurrence (the compact WY form);
+* ``Q = I - V T V^H`` is exactly unitary up to rounding, and ``T`` is
+  reconstructable from ``V`` alone (real taus make the Puglisi formula
+  exact), matching the paper's in-place storage claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine import Machine
+
+
+def sgn(z) -> complex | float:
+    """``z / |z|`` with ``sgn(0) = 1`` (the paper's convention, App. C.2)."""
+    a = abs(z)
+    if a == 0:
+        return 1.0 if not np.iscomplexobj(np.asarray(z)) else 1.0 + 0.0j
+    return z / a
+
+
+def larfg(x: np.ndarray) -> tuple[np.ndarray, complex, complex]:
+    """Generate a Householder reflector annihilating ``x[1:]``.
+
+    Returns ``(v, tau, beta)`` with ``v[0] = 1`` such that
+    ``H = I - tau v v^H`` is a *Hermitian* unitary reflector with
+    ``H x = beta e1`` and ``beta = -sgn(x[0]) |x|`` (the classical
+    Householder convention; for real data this coincides with LAPACK's
+    dlarfg).  ``tau = 2 / |v|^2`` is always real, which is what makes
+    the kernel ``T`` reconstructable from ``V`` alone (Section 2.3's
+    in-place claim) -- the zlarfg convention's complex taus are not.
+    ``tau = 0`` only for an exactly zero input column.
+    """
+    x = np.asarray(x)
+    n = x.shape[0]
+    v = np.zeros_like(x)
+    v[0] = 1.0
+    alpha = x[0]
+    xnorm = float(np.linalg.norm(x[1:])) if n > 1 else 0.0
+    if xnorm == 0.0 and alpha == 0.0:
+        # Fully zero column: only the identity reflector works.  This is
+        # the one case the Puglisi V->T reconstruction cannot represent
+        # (documented limitation; requires an exactly-zero pivot column).
+        return v, 0.0, alpha
+    # Always reflect -- even when x[1:] is already zero -- so every tau is
+    # nonzero and T stays reconstructable from V alone.
+    beta = -sgn(alpha) * float(np.hypot(abs(alpha), xnorm))
+    if np.iscomplexobj(x):
+        denom = alpha - beta
+    else:
+        beta = float(np.real(beta))
+        denom = alpha - beta
+    if n > 1:
+        v[1:] = x[1:] / denom
+    tau = 2.0 / (1.0 + xnorm**2 / abs(denom) ** 2)
+    return v, tau, beta
+
+
+@dataclass
+class PanelQR:
+    """Householder representation of a panel factorization.
+
+    ``V`` is ``m x n`` unit lower trapezoidal, ``T`` is ``n x n`` upper
+    triangular, ``R`` is ``n x n`` upper triangular, and
+    ``A = (I - V T V^H) [R; 0]``.
+    """
+
+    V: np.ndarray
+    T: np.ndarray
+    R: np.ndarray
+
+
+def local_geqrt(machine: Machine, p: int, A: np.ndarray) -> PanelQR:
+    """Unblocked Householder QR of a local ``m x n`` (``m >= n``) panel.
+
+    Charges the standard ``~2mn^2`` factorization flops plus the
+    ``~mn^2 + n^3/3`` T-accumulation flops on processor ``p``.
+    """
+    A = np.asarray(A)
+    m, n = A.shape
+    if m < n:
+        raise ValueError(f"local_geqrt requires m >= n, got {A.shape}")
+    work = A.astype(np.result_type(A.dtype, np.float64), copy=True)
+    dtype = work.dtype
+    V = np.zeros((m, n), dtype=dtype)
+    taus = np.zeros(n, dtype=dtype)
+
+    flops = 0.0
+    for j in range(n):
+        L = m - j
+        v, tau, beta = larfg(work[j:, j])
+        V[j:, j] = v
+        taus[j] = tau
+        work[j, j] = beta
+        if j + 1 <= m - 1:
+            work[j + 1 :, j] = 0.0
+        flops += 3.0 * L  # norm + scaling in larfg
+        if tau != 0 and j + 1 < n:
+            c = n - j - 1
+            w = v.conj() @ work[j:, j + 1 :]
+            work[j:, j + 1 :] -= np.multiply.outer(tau * v, w)
+            flops += 4.0 * L * c + 2.0 * c  # v^H C and rank-1 update
+    machine.compute(p, flops, label="geqrt_factor")
+
+    T = t_from_v(machine, p, V, taus)
+    R = np.triu(work[:n, :])
+    return PanelQR(V=V, T=T, R=R)
+
+
+def t_from_v(machine: Machine, p: int, V: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    """Accumulate the upper-triangular kernel ``T`` from reflectors.
+
+    Schreiber-Van Loan recurrence: ``T[:j, j] = -taus[j] *
+    T[:j, :j] (V[:, :j]^H v_j)``, ``T[j, j] = taus[j]``.  Charges
+    ``~mn^2 + n^3/3`` flops on ``p``.
+    """
+    m, n = V.shape
+    T = np.zeros((n, n), dtype=V.dtype)
+    flops = 0.0
+    for j in range(n):
+        tau = taus[j]
+        T[j, j] = tau
+        if j > 0 and tau != 0:
+            u = V[:, :j].conj().T @ V[:, j]
+            T[:j, j] = -tau * (T[:j, :j] @ u)
+            flops += 2.0 * m * j + float(j) * j + j
+    machine.compute(p, flops, label="t_from_v")
+    return T
+
+
+def reconstruct_t(machine: Machine, p: int, V: np.ndarray) -> np.ndarray:
+    """Rebuild ``T`` from ``V`` alone (Puglisi, Section 2.3).
+
+    ``T = (triu(V^H V, 1) + diag(diag(V^H V)) / 2)^(-1)`` -- the unique
+    upper-triangular kernel with ``T^{-1} + T^{-H} = V^H V``, which makes
+    ``I - V T V^H`` unitary.  This is the paper's observation that ``T``
+    need not be stored in-place.
+    """
+    import scipy.linalg
+
+    m, n = V.shape
+    G = V.conj().T @ V
+    Tinv = np.triu(G, 1) + np.diag(np.diag(G).real) / 2.0
+    T = scipy.linalg.solve_triangular(Tinv, np.eye(n, dtype=V.dtype), lower=False)
+    machine.compute(p, Machine.flops_gemm(n, n, m) + n**3 / 3.0, label="reconstruct_t")
+    return T
+
+
+def apply_wy(
+    machine: Machine,
+    p: int,
+    V: np.ndarray,
+    T: np.ndarray,
+    C: np.ndarray,
+    adjoint: bool = False,
+) -> np.ndarray:
+    """Apply ``(I - V T V^H)`` (or its adjoint) to ``C`` on processor ``p``.
+
+    Evaluated right-to-left as the paper prescribes for Eq. 4:
+    ``M1 = V^H C``; ``M2 = T M1`` (or ``T^H M1``); ``C - V M2``.
+    """
+    m, n = V.shape
+    k = C.shape[1]
+    M1 = V.conj().T @ C
+    M2 = (T.conj().T if adjoint else T) @ M1
+    out = C - V @ M2
+    machine.compute(
+        p,
+        Machine.flops_gemm(n, k, m) + Machine.flops_gemm(n, k, n) + Machine.flops_gemm(m, k, n) + m * k,
+        label="apply_wy",
+    )
+    return out
+
+
+def explicit_q(V: np.ndarray, T: np.ndarray, n_cols: int | None = None) -> np.ndarray:
+    """Leading columns of ``Q = I - V T V^H`` (validation helper; free).
+
+    Returns the ``m x n_cols`` matrix ``Q[:, :n_cols]`` (default: V's
+    column count).  Not metered -- tests and examples only.
+    """
+    m, n = V.shape
+    k = n_cols if n_cols is not None else n
+    E = np.zeros((m, k), dtype=V.dtype)
+    E[np.arange(k), np.arange(k)] = 1.0
+    return E - V @ (T @ V[:k, :].conj().T)

@@ -1,0 +1,78 @@
+"""Sequential Elmroth-Gustavson recursive QR (paper Algorithm 2, qr-eg).
+
+The single-processor instantiation of the template: split columns in
+half until the panel width drops below ``b``, factor the left half,
+update the right half through the compact representation (Eq. 4),
+recurse, and assemble ``V``, ``T``, ``R`` (Eq. 5).  This is the
+reference implementation the distributed algorithms are tested against,
+and the shape both 1d- and 3d-caqr-eg share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import Machine, ParameterError
+from repro.qr.householder import PanelQR, local_geqrt
+
+
+def qr_eg_sequential(machine: Machine, p: int, A: np.ndarray, b: int = 8) -> PanelQR:
+    """qr-eg on processor ``p`` with recursion threshold ``b >= 1``.
+
+    Returns the Householder representation ``(V, T, R)`` with
+    ``A = (I - V T V^H) [R; 0]``.
+    """
+    if b < 1:
+        raise ParameterError(f"recursion threshold must be >= 1, got b={b}")
+    A = np.asarray(A)
+    m, n = A.shape
+    if m < n:
+        raise ParameterError(f"qr-eg requires m >= n, got {A.shape}")
+
+    if n <= b:
+        return local_geqrt(machine, p, A)
+
+    n2 = n // 2  # floor(n/2), the paper's A11 size
+    left = qr_eg_sequential(machine, p, A[:, :n2], b)
+
+    # Lines 6-8: update the right panel through (I - V T V^H)^H.
+    X = A[:, n2:]
+    nr = n - n2
+    M1 = left.V.conj().T @ X
+    M2 = left.T.conj().T @ M1
+    B = X - left.V @ M2
+    machine.compute(
+        p,
+        Machine.flops_gemm(n2, nr, m) + Machine.flops_gemm(n2, nr, n2)
+        + Machine.flops_gemm(m, nr, n2) + float(m) * nr,
+        label="qreg_update",
+    )
+    B12, B22 = B[:n2, :], B[n2:, :]
+
+    right = qr_eg_sequential(machine, p, B22, b)
+
+    # Line 10: V = [V_L  [0; V_R]].
+    V = np.zeros((m, n), dtype=left.V.dtype)
+    V[:, :n2] = left.V
+    V[n2:, n2:] = right.V
+
+    # Lines 11-13: T = [[T_L, -T_L M3 T_R], [0, T_R]],  M3 = V_L^H [0; V_R].
+    M3 = left.V[n2:, :].conj().T @ right.V
+    M4 = M3 @ right.T
+    T12 = -left.T @ M4
+    machine.compute(
+        p,
+        Machine.flops_gemm(n2, nr, m - n2) + 2 * Machine.flops_gemm(n2, nr, nr) + float(n2) * nr,
+        label="qreg_T",
+    )
+    T = np.zeros((n, n), dtype=left.T.dtype)
+    T[:n2, :n2] = left.T
+    T[:n2, n2:] = T12
+    T[n2:, n2:] = right.T
+
+    # Line 14: R = [[R_L, B12], [0, R_R]].
+    R = np.zeros((n, n), dtype=left.R.dtype)
+    R[:n2, :n2] = left.R
+    R[:n2, n2:] = B12
+    R[n2:, n2:] = right.R
+    return PanelQR(V=V, T=T, R=R)

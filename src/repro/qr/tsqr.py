@@ -1,0 +1,206 @@
+"""TSQR with Householder reconstruction (paper Section 5 and Appendix C).
+
+The [BDG+15] variant the paper's Lemma 5 depends on:
+
+* **upsweep** -- every processor QR-decomposes its local rows, then a
+  binomial reduce tree combines R-factors pairwise with local QRs of
+  stacked triangles; only packed upper triangles (``n(n+1)/2`` words)
+  travel.
+* **downsweep** -- the tree of Q-factors is applied to ``n`` identity
+  columns, reversing the reduce's communication pattern with ``n^2``-word
+  blocks, leaving each processor its slice ``W_p`` of the orthonormal
+  factor ``W``.
+* **reconstruction** -- the root row-reduces ``X`` (the leading ``n x n``
+  of ``W``) with the sign trick ``X + S = LU`` ([BDG+15, Lemma 6.2]; no
+  pivoting needed), sets ``T = U S^H L^{-H}``, ``R <- -S^H R``, and
+  broadcasts ``U`` so every processor recovers its Householder basis
+  rows ``V_p = W_p U^{-1}``.
+
+Costs (Lemma 5): ``gamma (max_p m_p n^2 + n^3 log P) + beta n^2 log P +
+alpha log P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.dist import DistMatrix
+from repro.machine import DistributionError
+from repro.qr.householder import PanelQR, apply_wy, local_geqrt, sgn
+from repro.util import ceil_div
+
+
+@dataclass
+class TSQRResult:
+    """Output of :func:`tsqr`: Householder representation ``(V, T, R)``.
+
+    ``V`` (``m x n``, unit lower trapezoidal in its leading rows) is
+    distributed like the input; ``T`` and ``R`` (``n x n``) live on the
+    root processor only.
+    """
+
+    V: DistMatrix
+    T: np.ndarray
+    R: np.ndarray
+    root: int
+
+
+def pack_triu(R: np.ndarray) -> np.ndarray:
+    """Upper triangle of an ``n x n`` matrix as ``n(n+1)/2`` words."""
+    n = R.shape[0]
+    iu = np.triu_indices(n)
+    return R[iu]
+
+
+def unpack_triu(packed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_triu` (free: local unpacking)."""
+    R = np.zeros((n, n), dtype=packed.dtype)
+    R[np.triu_indices(n)] = packed
+    return R
+
+
+def check_tsqr_distribution(A: DistMatrix, root: int) -> list[int]:
+    """Validate Section 5's distribution requirements; return participants.
+
+    Every participating processor must own at least ``n`` rows (hence
+    ``m/n >= P``) and the root must own the ``n`` leading rows.
+    """
+    n = A.n
+    parts = A.layout.participants()
+    if root not in parts:
+        raise DistributionError(f"root {root} owns no rows of A")
+    for p in parts:
+        if A.layout.count(p) < n:
+            raise DistributionError(
+                f"tsqr requires every processor to own >= n={n} rows; "
+                f"rank {p} owns {A.layout.count(p)} (need m/n >= P)"
+            )
+    head = A.layout.owners()[:n]
+    if not bool((head == root).all()):
+        raise DistributionError(f"root {root} must own the {n} leading rows of A")
+    return parts
+
+
+def _split(members: list[int], r: int) -> tuple[list[int], list[int], int]:
+    """Binomial-tree split (same shape as the collectives use)."""
+    h = ceil_div(len(members), 2)
+    s1, s2 = members[:h], members[h:]
+    if r in s1:
+        return s1, s2, s2[0]
+    return s2, s1, s1[0]
+
+
+def tsqr(A: DistMatrix, root: int = 0) -> TSQRResult:
+    """QR-decompose a tall-skinny distributed matrix (``m/n >= P``).
+
+    Returns the Householder representation; see :class:`TSQRResult`.
+    """
+    machine = A.machine
+    n = A.n
+    parts = check_tsqr_distribution(A, root)
+    dtype = np.result_type(A.dtype, np.float64)
+
+    # ------------------------------------------------------------------
+    # Upsweep: local QRs, then a binomial reduce tree of stacked-R QRs.
+    # ------------------------------------------------------------------
+    panels: dict[int, PanelQR] = {p: local_geqrt(machine, p, A.local(p)) for p in parts}
+    Rcur: dict[int, np.ndarray] = {p: panels[p].R for p in parts}
+    merges: list[tuple[int, int, PanelQR]] = []  # (receiver, sender, merge QR)
+
+    def up(members: list[int], r: int) -> None:
+        if len(members) == 1:
+            return
+        mine, other, r2 = _split(members, r)
+        up(mine, r)
+        up(other, r2)
+        packed = machine.transfer(r2, r, pack_triu(Rcur.pop(r2)), label="tsqr_up")
+        stacked = np.vstack([Rcur[r], unpack_triu(packed, n)])
+        pan = local_geqrt(machine, r, stacked)
+        merges.append((r, r2, pan))
+        Rcur[r] = pan.R
+
+    up(list(parts), root)
+    R_tree = Rcur[root]
+
+    # ------------------------------------------------------------------
+    # Downsweep: apply the Q tree to identity columns, reversing the
+    # reduce's communication pattern.
+    # ------------------------------------------------------------------
+    B: dict[int, np.ndarray] = {root: np.eye(n, dtype=dtype)}
+    for r, r2, pan in reversed(merges):
+        stacked = np.vstack([B[r], np.zeros((n, n), dtype=dtype)])
+        out = apply_wy(machine, r, pan.V, pan.T, stacked)
+        B[r] = out[:n]
+        B[r2] = machine.transfer(r, r2, out[n:], label="tsqr_down")
+
+    W: dict[int, np.ndarray] = {}
+    for p in parts:
+        mp = A.layout.count(p)
+        stacked = np.vstack([B[p], np.zeros((mp - n, n), dtype=dtype)])
+        W[p] = apply_wy(machine, p, panels[p].V, panels[p].T, stacked)
+
+    # ------------------------------------------------------------------
+    # Householder reconstruction on the root ([BDG+15]).
+    # ------------------------------------------------------------------
+    X = W[root][:n]  # rows of W at global indices 0..n-1 (root owns them)
+    Xhat = X.astype(dtype, copy=True)
+    S = np.zeros(n, dtype=dtype)
+    Lfac = np.eye(n, dtype=dtype)
+    flops = 0.0
+    for j in range(n):
+        S[j] = sgn(Xhat[j, j])
+        Xhat[j, j] += S[j]
+        if j + 1 < n:
+            Lfac[j + 1 :, j] = Xhat[j + 1 :, j] / Xhat[j, j]
+            Xhat[j + 1 :, j + 1 :] -= np.multiply.outer(Lfac[j + 1 :, j], Xhat[j, j + 1 :])
+            Xhat[j + 1 :, j] = 0.0
+            flops += 3.0 * (n - j - 1) * (n - j)
+    machine.compute(root, flops, label="tsqr_lu")
+    U = np.triu(Xhat)
+
+    # T = U S^H L^{-H};  R = -S R_tree.
+    #
+    # Derivation (fixes a conjugation slip in the paper's App. C.2 for
+    # complex data): Householder QR of the orthonormal W gives
+    # W = Q_w [R_w; 0] with R_w = diag(d) unitary, so
+    # W + [S; 0] = V (T V_top^H S) =: L U with S = -R_w, whence
+    # T = U S^H L^{-H} and A = Q_w [R_w R_tree; 0], i.e. the new
+    # R-factor is R_w R_tree = -S R_tree (not -S^H R_tree; they agree
+    # in the real case the reference implementation targets).
+    M = scipy.linalg.solve_triangular(Lfac, np.diag(S), lower=True, unit_diagonal=True)
+    T = U @ M.conj().T
+    machine.compute(root, float(n) ** 3, label="tsqr_T")
+    R = -S[:, None] * R_tree
+    machine.compute(root, float(n) * n, label="tsqr_R")
+
+    # ------------------------------------------------------------------
+    # Broadcast U; every processor recovers V_p = W_p U^{-1} (the root's
+    # leading n rows are L directly).
+    # ------------------------------------------------------------------
+    if len(parts) > 1:
+        from repro.collectives import CommContext, broadcast_binomial
+
+        ctx = CommContext(machine, parts)
+        broadcast_binomial(ctx, parts.index(root), U)
+
+    Vblocks: dict[int, np.ndarray] = {}
+    for p in parts:
+        Wp = W[p]
+        if p == root:
+            bottom = Wp[n:]
+            if bottom.shape[0]:
+                solved = scipy.linalg.solve_triangular(U, bottom.T, trans="T", lower=False).T
+                machine.compute(p, float(bottom.shape[0]) * n * n, label="tsqr_V")
+                Vblocks[p] = np.vstack([Lfac, solved])
+            else:
+                Vblocks[p] = Lfac
+        else:
+            solved = scipy.linalg.solve_triangular(U, Wp.T, trans="T", lower=False).T
+            machine.compute(p, float(Wp.shape[0]) * n * n, label="tsqr_V")
+            Vblocks[p] = solved
+
+    V = DistMatrix(machine, A.layout, n, Vblocks, dtype=dtype)
+    return TSQRResult(V=V, T=T, R=R, root=root)

@@ -1,0 +1,63 @@
+"""Numerical validation of QR factorizations in Householder form.
+
+All functions here are *free* (unmetered): they exist for tests,
+examples, and benchmarks to certify results, not for the algorithms
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qr.householder import explicit_q
+
+
+@dataclass
+class QRDiagnostics:
+    """Residual measures of a Householder-form factorization."""
+
+    residual: float          # ||A - Q R||_F / ||A||_F
+    orthogonality: float     # ||Q^H Q - I||_F
+    v_unit_lower: float      # deviation of V's top block from unit lower triangular
+    t_upper: float           # deviation of T from upper triangular
+    r_upper: float           # deviation of R from upper triangular
+
+    def ok(self, tol: float = 1e-10) -> bool:
+        return max(
+            self.residual,
+            self.orthogonality,
+            self.v_unit_lower,
+            self.t_upper,
+            self.r_upper,
+        ) < tol
+
+
+def qr_diagnostics(
+    A: np.ndarray, V: np.ndarray, T: np.ndarray, R: np.ndarray
+) -> QRDiagnostics:
+    """Diagnostics for ``A = (I - V T V^H) [R; 0]`` with global arrays."""
+    A = np.asarray(A)
+    m, n = A.shape
+    Q = explicit_q(V, T, n)
+    norm_a = float(np.linalg.norm(A))
+    residual = float(np.linalg.norm(A - Q @ R)) / (norm_a if norm_a > 0 else 1.0)
+    orthogonality = float(np.linalg.norm(Q.conj().T @ Q - np.eye(n)))
+    top = V[:n, :]
+    v_dev = float(np.linalg.norm(np.tril(top) - top) + np.linalg.norm(np.diag(top) - 1.0))
+    t_dev = float(np.linalg.norm(np.triu(T) - T))
+    r_dev = float(np.linalg.norm(np.triu(R) - R))
+    return QRDiagnostics(residual, orthogonality, v_dev, t_dev, r_dev)
+
+
+def validate_result(A_global: np.ndarray, result) -> QRDiagnostics:
+    """Diagnostics for any algorithm result exposing ``V``/``T``/``R``.
+
+    ``V`` may be a DistMatrix or ndarray; ``T``/``R`` ndarray (root copy)
+    or DistMatrix.
+    """
+    V = result.V.to_global() if hasattr(result.V, "to_global") else np.asarray(result.V)
+    T = result.T.to_global() if hasattr(result.T, "to_global") else np.asarray(result.T)
+    R = result.R.to_global() if hasattr(result.R, "to_global") else np.asarray(result.R)
+    return qr_diagnostics(np.asarray(A_global), V, T, R)

@@ -1,0 +1,19 @@
+"""Small shared utilities: partitions, integer helpers, validation."""
+
+from repro.util.partition import (
+    balanced_partition,
+    balanced_sizes,
+    ceil_div,
+    cyclic_deal,
+    ilog2,
+    is_power_of_two,
+)
+
+__all__ = [
+    "balanced_partition",
+    "balanced_sizes",
+    "ceil_div",
+    "cyclic_deal",
+    "ilog2",
+    "is_power_of_two",
+]

@@ -1,0 +1,74 @@
+"""Integer partitioning helpers used throughout the library.
+
+The paper repeatedly needs *balanced* partitions -- partitions of
+``range(n)`` into ``k`` parts whose sizes differ by at most one (Lemma 4
+and the dmm data distributions) -- and cyclic dealing (the two-phase
+all-to-all of [HBJ96] and the row-cyclic layouts of Section 7).
+"""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for nonnegative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b}")
+    return -(-a // b)
+
+
+def ilog2(n: int) -> int:
+    """``ceil(log2(n))`` for ``n >= 1``; the depth of a binomial tree on n nodes."""
+    if n < 1:
+        raise ValueError(f"ilog2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def balanced_sizes(n: int, k: int) -> list[int]:
+    """Sizes of a balanced ``k``-way partition of ``n`` items.
+
+    The first ``n % k`` parts get ``n // k + 1`` items, the rest ``n // k``;
+    all sizes differ by at most one, matching the paper's "balanced
+    partition" requirement in Lemma 4.
+    """
+    if k < 1:
+        raise ValueError(f"balanced_sizes requires k >= 1, got {k}")
+    if n < 0:
+        raise ValueError(f"balanced_sizes requires n >= 0, got {n}")
+    q, r = divmod(n, k)
+    return [q + 1] * r + [q] * (k - r)
+
+
+def balanced_partition(n: int, k: int) -> list[range]:
+    """Balanced contiguous ``k``-way partition of ``range(n)``.
+
+    Returns ``k`` ranges covering ``0..n-1`` whose lengths differ by at
+    most one.  Empty ranges are allowed when ``k > n``.
+    """
+    sizes = balanced_sizes(n, k)
+    parts: list[range] = []
+    start = 0
+    for s in sizes:
+        parts.append(range(start, start + s))
+        start += s
+    return parts
+
+
+def cyclic_deal(n: int, k: int, start: int = 0) -> list[list[int]]:
+    """Deal ``range(n)`` cyclically into ``k`` bins, starting at bin ``start``.
+
+    Item ``i`` goes to bin ``(start + i) % k``.  Used by the two-phase
+    all-to-all ([HBJ96]) where processor ``p`` deals its block for ``q``
+    across intermediate processors ``p+q, p+q+1, ...`` cyclically, and by
+    the row-cyclic matrix layouts of Section 7.
+    """
+    if k < 1:
+        raise ValueError(f"cyclic_deal requires k >= 1, got {k}")
+    bins: list[list[int]] = [[] for _ in range(k)]
+    for i in range(n):
+        bins[(start + i) % k].append(i)
+    return bins

@@ -1,0 +1,24 @@
+"""Workload generators and the shared run harness."""
+
+from repro.workloads.matrices import (
+    GENERATORS,
+    column_scaled,
+    gaussian,
+    graded,
+    identity_tall,
+    near_rank_deficient,
+)
+from repro.workloads.sweeps import ALGORITHMS, RunResult, format_run_table, run_qr
+
+__all__ = [
+    "ALGORITHMS",
+    "GENERATORS",
+    "RunResult",
+    "column_scaled",
+    "format_run_table",
+    "gaussian",
+    "graded",
+    "identity_tall",
+    "near_rank_deficient",
+    "run_qr",
+]

@@ -1,0 +1,164 @@
+"""Run harness shared by benchmarks and examples.
+
+``run_qr`` executes one algorithm on a fresh machine with the paper's
+standard input distribution for that algorithm, validates the result,
+and returns measured critical-path costs -- one row of any table in the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
+from repro.machine import CostParams, CostReport, Machine
+from repro.qr import (
+    qr_1d_caqr_eg,
+    qr_3d_caqr_eg,
+    qr_caqr_2d,
+    qr_house_1d,
+    qr_house_2d,
+    reconstruct_t,
+    tsqr,
+)
+from repro.qr.validate import QRDiagnostics, qr_diagnostics
+from repro.util import balanced_sizes
+
+#: Algorithms runnable by name.
+ALGORITHMS = ("tsqr", "house1d", "caqr1d", "house2d", "caqr2d", "caqr3d")
+
+
+@dataclass
+class RunResult:
+    """One algorithm execution: costs plus numerical certification."""
+
+    algorithm: str
+    m: int
+    n: int
+    P: int
+    params: dict
+    report: CostReport
+    diagnostics: QRDiagnostics
+    words_by_label: dict | None = None
+
+    def words_by_phase(self) -> dict[str, float]:
+        """Word volume decomposed into coarse traffic phases.
+
+        ``alltoall``: layout <-> dmm-brick redistributions (the Eq. 13
+        overhead the paper's Section 8.4 discusses); ``dmm``: all-gather /
+        reduce-scatter inside 3D multiplications; ``other``: everything
+        else (base cases, 1D reductions/broadcasts, tsqr trees).
+        """
+        groups = {"alltoall": 0.0, "dmm": 0.0, "other": 0.0}
+        for label, w in (self.words_by_label or {}).items():
+            if label.startswith("alltoall"):
+                groups["alltoall"] += w
+            elif label in ("all_gather", "reduce_scatter", "reduce_scatter_add"):
+                groups["dmm"] += w
+            else:
+                groups["other"] += w
+        return groups
+
+    def row(self) -> dict:
+        d = {"algorithm": self.algorithm, "m": self.m, "n": self.n, "P": self.P}
+        d.update({k: v for k, v in self.params.items() if v is not None})
+        d.update(
+            {
+                "flops": self.report.critical_flops,
+                "words": self.report.critical_words,
+                "messages": self.report.critical_messages,
+            }
+        )
+        d["residual"] = self.diagnostics.residual
+        return d
+
+
+def run_qr(
+    algorithm: str,
+    A: np.ndarray,
+    P: int,
+    cost_params: CostParams | None = None,
+    validate: bool = True,
+    **params,
+) -> RunResult:
+    """Run ``algorithm`` on global array ``A`` over ``P`` simulated processors.
+
+    Tall-skinny algorithms (tsqr / house1d / caqr1d) get the Section 5
+    block-row distribution; caqr3d gets row-cyclic (Section 7); the 2D
+    baselines get block-cyclic with the Section 8.1 grid.  Extra keyword
+    arguments (``b``, ``bstar``, ``eps``, ``delta``, ``bb``, ``method``)
+    are forwarded.
+    """
+    A = np.asarray(A)
+    m, n = A.shape
+    machine = Machine(P, params=cost_params)
+
+    if algorithm in ("tsqr", "house1d", "caqr1d"):
+        layout = BlockRowLayout(balanced_sizes(m, P))
+        dA = DistMatrix.from_global(machine, A, layout)
+        if algorithm == "tsqr":
+            res = tsqr(dA, root=0)
+        elif algorithm == "house1d":
+            res = qr_house_1d(dA, root=0)
+        else:
+            res = qr_1d_caqr_eg(dA, root=0, b=params.get("b"), eps=params.get("eps", 1.0))
+        V, T, R = res.V.to_global(), res.T, res.R
+    elif algorithm == "caqr3d":
+        dA = DistMatrix.from_global(machine, A, CyclicRowLayout(m, P))
+        res = qr_3d_caqr_eg(
+            dA,
+            b=params.get("b"),
+            bstar=params.get("bstar"),
+            delta=params.get("delta", 0.5),
+            eps=params.get("eps", 1.0),
+            method=params.get("method", "two_phase"),
+        )
+        V, T, R = res.V.to_global(), res.T.to_global(), res.R.to_global()
+        params.setdefault("b", res.b)
+        params.setdefault("bstar", res.bstar)
+    elif algorithm in ("house2d", "caqr2d"):
+        fn = qr_house_2d if algorithm == "house2d" else qr_caqr_2d
+        kw = {}
+        if params.get("bb") is not None:
+            kw["bb"] = params["bb"]
+        if params.get("pr") is not None:
+            kw["pr"], kw["pc"] = params["pr"], params["pc"]
+        res = fn(machine=machine, A_global=A, **kw)
+        V, R = res.V_global(), res.R_global()
+        T = reconstruct_t(Machine(1), 0, V) if validate else np.eye(n)
+    else:
+        raise KeyError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+
+    report = machine.report()
+    diag = (
+        qr_diagnostics(A, V, T, R)
+        if validate
+        else QRDiagnostics(0.0, 0.0, 0.0, 0.0, 0.0)
+    )
+    return RunResult(
+        algorithm, m, n, P, params, report, diag,
+        words_by_label=dict(machine.words_by_label),
+    )
+
+
+def format_run_table(rows: list[dict], columns: list[str] | None = None, title: str = "") -> str:
+    """Monospace table from run rows (benchmark printing)."""
+    if not rows:
+        return title
+    cols = columns or list(rows[0].keys())
+    widths = {c: max(len(c), max(len(_fmt(r.get(c, ""))) for r in rows)) for c in cols}
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.rjust(widths[c]) for c in cols))
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c, "")).rjust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def machine4():
+    return Machine(4)
+
+
+@pytest.fixture
+def machine8():
+    return Machine(8)
+
+
+@pytest.fixture
+def traced_machine():
+    """Machine factory with tracing on, for clock-vs-DAG cross checks."""
+
+    def make(P: int) -> Machine:
+        return Machine(P, trace=True)
+
+    return make
+
+
+def assert_clocks_match_trace(machine: Machine, tol: float = 1e-9) -> None:
+    """The online max-plus clocks must equal the offline DAG longest path."""
+    assert machine.trace is not None, "machine must be created with trace=True"
+    rep = machine.report()
+    for metric in ("flops", "words", "messages"):
+        offline = machine.trace.critical_path(metric)
+        online = getattr(rep, f"critical_{metric}")
+        assert abs(offline - online) <= tol, (
+            f"{metric}: online {online} != offline {offline}"
+        )

@@ -1,0 +1,183 @@
+"""Tests for the analysis package: formulas, tables, tradeoffs, fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SweepPoint,
+    bandwidth_latency_product_bound,
+    best_for_machine,
+    cost_caqr1d_eps,
+    cost_house1d,
+    cost_theorem1,
+    cost_theorem2,
+    cost_tsqr,
+    fit_exponent,
+    fit_with_residual,
+    optimality_ratios,
+    pareto_front,
+    predicted_for,
+    squarish_bounds,
+    table2_predicted,
+    table3_predicted,
+    tall_skinny_bounds,
+    tradeoff_monotone,
+)
+from repro.machine import CostParams
+
+
+class TestTheoremFormulas:
+    def test_theorem2_shape(self):
+        c = cost_theorem2(1 << 20, 1 << 10, 16)
+        assert c["flops"] == pytest.approx((1 << 20) * (1 << 20) / 16)
+        assert c["words"] == (1 << 20)
+        assert c["messages"] == 16.0  # (log2 16)^2
+
+    def test_theorem1_delta_tradeoff_direction(self):
+        m = n = 1 << 12
+        P = 64
+        lo = cost_theorem1(m, n, P, 0.5)
+        hi = cost_theorem1(m, n, P, 2 / 3)
+        assert hi["words"] < lo["words"]
+        assert hi["messages"] > lo["messages"]
+
+    def test_caqr1d_eps_interpolates_tsqr(self):
+        m, n, P = 1 << 16, 64, 64
+        at0 = cost_caqr1d_eps(m, n, P, 0.0)
+        t = cost_tsqr(m, n, P)
+        # eps=0 reproduces tsqr's shape up to the additive n^2.
+        assert at0["words"] == pytest.approx(t["words"] + n * n)
+        assert at0["messages"] == pytest.approx(t["messages"])
+
+    def test_house1d_latency_linear_in_n(self):
+        a = cost_house1d(1 << 14, 64, 16)
+        b = cost_house1d(1 << 14, 128, 16)
+        assert b["messages"] == pytest.approx(2 * a["messages"])
+
+    def test_predicted_for_dispatch(self):
+        for alg in ("tsqr", "house1d", "caqr1d", "house2d", "caqr2d", "caqr3d"):
+            c = predicted_for(alg, 4096, 256, 16)
+            assert set(c) == {"flops", "words", "messages"}
+            assert all(v > 0 for v in c.values())
+
+    def test_predicted_for_unknown(self):
+        with pytest.raises(KeyError):
+            predicted_for("bogus", 16, 4, 2)
+
+
+class TestTables:
+    def test_table3_ordering_matches_paper(self):
+        """tsqr beats d-house on latency; 1d-caqr-eg(1) beats tsqr on words."""
+        m, n, P = 1 << 18, 256, 64
+        rows = dict(table3_predicted(m, n, P))
+        assert rows["tsqr"]["messages"] < rows["d-house-1d"]["messages"]
+        assert rows["1d-caqr-eg(eps=1)"]["words"] < rows["tsqr"]["words"]
+        assert rows["1d-caqr-eg(eps=1)"]["messages"] > rows["tsqr"]["messages"]
+
+    def test_table2_ordering_matches_paper(self):
+        """3d-caqr-eg at delta=2/3 moves fewer words than 2D algorithms."""
+        m = n = 1 << 12
+        P = 256
+        rows = dict(table2_predicted(m, n, P))
+        d23 = rows["3d-caqr-eg(delta=0.667)"]
+        assert d23["words"] < rows["d-house-2d"]["words"]
+        assert d23["words"] < rows["caqr-2d"]["words"]
+        assert rows["caqr-2d"]["messages"] < rows["d-house-2d"]["messages"]
+
+    def test_format_rows_contains_all(self):
+        from repro.analysis import format_rows
+
+        txt = format_rows(table3_predicted(1 << 14, 64, 16), title="T3")
+        assert "tsqr" in txt and "d-house-1d" in txt and txt.startswith("T3")
+
+
+class TestLowerBounds:
+    def test_tall_skinny(self):
+        b = tall_skinny_bounds(1 << 16, 64, 16)
+        assert b["words"] == 64 * 64
+        assert b["messages"] == 4
+
+    def test_squarish(self):
+        b = squarish_bounds(4096, 4096, 64)
+        assert b["words"] == pytest.approx(4096**2 / 64 ** (2 / 3))
+        assert b["messages"] == 8.0
+
+    def test_theorem2_attains_tall_skinny_bandwidth(self):
+        m, n, P = 1 << 16, 64, 16
+        c = cost_theorem2(m, n, P)
+        b = tall_skinny_bounds(m, n, P)
+        assert c["words"] == b["words"]  # optimal words
+
+    def test_theorem1_attains_squarish_bandwidth_at_23(self):
+        m = n = 4096
+        P = 64
+        c = cost_theorem1(m, n, P, 2 / 3)
+        b = squarish_bounds(m, n, P)
+        assert c["words"] == pytest.approx(b["words"])
+
+    def test_optimality_ratios(self):
+        r = optimality_ratios(
+            {"flops": 10, "words": 8, "messages": 6}, {"flops": 5, "words": 4, "messages": 3}
+        )
+        assert r == {"flops": 2.0, "words": 2.0, "messages": 2.0}
+
+    def test_product_bound(self):
+        assert bandwidth_latency_product_bound(100) == 10_000
+
+
+class TestTradeoffHelpers:
+    def points(self):
+        return [
+            SweepPoint(0.0, 100, 1000, 10),
+            SweepPoint(0.5, 100, 500, 40),
+            SweepPoint(1.0, 100, 300, 160),
+        ]
+
+    def test_monotone(self):
+        assert tradeoff_monotone(self.points())
+
+    def test_not_monotone(self):
+        pts = self.points() + [SweepPoint(1.5, 100, 900, 20)]
+        assert not tradeoff_monotone(pts)
+
+    def test_best_for_latency_machine(self):
+        pts = self.points()
+        latency_bound = CostParams(alpha=1000.0, beta=1.0, gamma=0.0)
+        assert best_for_machine(pts, latency_bound).knob == 0.0
+
+    def test_best_for_bandwidth_machine(self):
+        pts = self.points()
+        bw_bound = CostParams(alpha=0.001, beta=1.0, gamma=0.0)
+        assert best_for_machine(pts, bw_bound).knob == 1.0
+
+    def test_pareto_front_drops_dominated(self):
+        pts = self.points() + [SweepPoint(2.0, 100, 600, 200)]  # dominated
+        front = pareto_front(pts)
+        assert all(p.knob != 2.0 for p in front)
+        assert len(front) == 3
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_for_machine([], CostParams())
+
+
+class TestFitting:
+    def test_exact_power_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [3 * x**1.5 for x in xs]
+        assert fit_exponent(xs, ys) == pytest.approx(1.5)
+
+    def test_residual_zero_for_exact(self):
+        xs = [2, 4, 8]
+        ys = [x**2 for x in xs]
+        slope, rms = fit_with_residual(xs, ys)
+        assert slope == pytest.approx(2.0)
+        assert rms < 1e-12
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1, 2], [0, 1])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1], [1])

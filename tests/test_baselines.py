@@ -1,0 +1,139 @@
+"""Tests for the baseline algorithms: house1d, house2d, caqr2d."""
+
+import numpy as np
+import pytest
+
+from repro.dist import BlockRowLayout, DistMatrix
+from repro.machine import Machine
+from repro.qr import qr_caqr_2d, qr_house_1d, qr_house_2d, reconstruct_t
+from repro.qr.validate import qr_diagnostics
+from repro.util import balanced_sizes, ilog2
+from repro.workloads import gaussian, graded
+
+
+def dist(machine, A, P):
+    return DistMatrix.from_global(machine, A, BlockRowLayout(balanced_sizes(A.shape[0], P)))
+
+
+def diagnose_2d(A, res):
+    Vg = res.V_global()
+    T = reconstruct_t(Machine(1), 0, Vg)
+    return qr_diagnostics(A, Vg, T, res.R_global())
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize("m,n,P", [(16, 4, 2), (48, 6, 6), (64, 8, 4)])
+class TestHouse1D:
+    def test_factorization(self, m, n, P, complex_):
+        A = gaussian(m, n, seed=m, complex_=complex_)
+        machine = Machine(P)
+        res = qr_house_1d(dist(machine, A, P), root=0)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.ok(1e-9), d
+
+
+class TestHouse1DCosts:
+    def test_messages_linear_in_n(self):
+        """Table 3 row 1: Theta(n log P) messages -- the pain point."""
+        P = 4
+        msgs = []
+        for n in (4, 8, 16):
+            A = gaussian(8 * n, n, seed=n)
+            machine = Machine(P)
+            qr_house_1d(dist(machine, A, P), root=0)
+            msgs.append(machine.report().critical_messages)
+        # Doubling n roughly doubles messages.
+        assert 1.6 <= msgs[1] / msgs[0] <= 2.4
+        assert 1.6 <= msgs[2] / msgs[1] <= 2.4
+
+    def test_latency_worse_than_tsqr(self):
+        from repro.qr import tsqr
+
+        A = gaussian(256, 16, seed=0)
+        m1, m2 = Machine(8), Machine(8)
+        qr_house_1d(dist(m1, A, 8), root=0)
+        tsqr(dist(m2, A, 8), root=0)
+        assert m1.report().critical_messages > 5 * m2.report().critical_messages
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize("m,n,P,bb", [(16, 8, 4, 2), (24, 24, 4, 4), (32, 16, 6, 4), (36, 36, 9, 4)])
+class TestHouse2D:
+    def test_factorization(self, m, n, P, bb, complex_):
+        A = gaussian(m, n, seed=m + bb, complex_=complex_)
+        machine = Machine(P)
+        res = qr_house_2d(machine=machine, A_global=A, bb=bb)
+        assert diagnose_2d(A, res).ok(1e-9)
+
+    def test_v_unit_lower_trapezoidal(self, m, n, P, bb, complex_):
+        A = gaussian(m, n, seed=1, complex_=complex_)
+        machine = Machine(P)
+        res = qr_house_2d(machine=machine, A_global=A, bb=bb)
+        V = res.V_global()
+        top = V[:n]
+        assert np.allclose(np.tril(top), top, atol=1e-12)
+        assert np.allclose(np.diag(top), 1.0)
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize("m,n,P,bb", [(16, 8, 4, 2), (24, 24, 4, 4), (40, 12, 8, 3), (20, 20, 1, 5)])
+class TestCAQR2D:
+    def test_factorization(self, m, n, P, bb, complex_):
+        A = gaussian(m, n, seed=m * 2 + bb, complex_=complex_)
+        machine = Machine(P)
+        res = qr_caqr_2d(machine=machine, A_global=A, bb=bb)
+        assert diagnose_2d(A, res).ok(1e-9)
+
+
+class TestCAQR2DVsHouse2D:
+    def test_same_r_up_to_phase(self):
+        A = gaussian(32, 16, seed=3)
+        m1, m2 = Machine(4), Machine(4)
+        r1 = qr_house_2d(machine=m1, A_global=A, bb=4)
+        r2 = qr_caqr_2d(machine=m2, A_global=A, bb=4)
+        assert np.allclose(np.abs(r1.R_global()), np.abs(r2.R_global()), atol=1e-9)
+
+    def test_caqr_fewer_messages_squareish(self):
+        """Table 2: caqr cuts d-house's Theta(n log P) latency."""
+        n = 64
+        A = gaussian(n, n, seed=4)
+        m1, m2 = Machine(16), Machine(16)
+        qr_house_2d(machine=m1, A_global=A, bb=2)
+        qr_caqr_2d(machine=m2, A_global=A, bb=8)
+        assert m2.report().critical_messages < m1.report().critical_messages
+
+    def test_explicit_grid_respected(self):
+        A = gaussian(24, 12, seed=5)
+        machine = Machine(6)
+        res = qr_house_2d(machine=machine, A_global=A, pr=3, pc=2, bb=2)
+        assert res.V.pr == 3 and res.V.pc == 2
+        assert diagnose_2d(A, res).ok(1e-9)
+
+    def test_graded(self):
+        A = graded(32, 16, cond=1e10, seed=6)
+        machine = Machine(4)
+        res = qr_caqr_2d(machine=machine, A_global=A, bb=4)
+        d = diagnose_2d(A, res)
+        assert d.orthogonality < 1e-9 and d.residual < 1e-9
+
+
+class TestBaselineCostOrdering:
+    def test_house2d_messages_grow_with_n(self):
+        msgs = []
+        for n in (16, 32):
+            A = gaussian(n, n, seed=7)
+            machine = Machine(4)
+            qr_house_2d(machine=machine, A_global=A, bb=2)
+            msgs.append(machine.report().critical_messages)
+        assert msgs[1] >= 1.6 * msgs[0]
+
+    def test_tall_skinny_words_house1d_vs_caqr1d(self):
+        """Table 3: 1d-caqr-eg at eps=1 beats d-house's n^2 log P words."""
+        from repro.qr import qr_1d_caqr_eg
+
+        n, P = 32, 16
+        A = gaussian(16 * n, n, seed=8)
+        m1, m2 = Machine(P), Machine(P)
+        qr_house_1d(dist(m1, A, P), root=0)
+        qr_1d_caqr_eg(dist(m2, A, P), root=0, eps=1.0)
+        assert m2.report().critical_words < m1.report().critical_words

@@ -1,0 +1,147 @@
+"""Tests for 1d-caqr-eg: correctness, parameter policy, cost tradeoff."""
+
+import numpy as np
+import pytest
+
+from repro.dist import BlockRowLayout, DistMatrix
+from repro.machine import Machine, ParameterError
+from repro.qr import qr_1d_caqr_eg, tsqr
+from repro.qr.params import choose_b_1d
+from repro.qr.validate import qr_diagnostics
+from repro.util import balanced_sizes
+from repro.workloads import gaussian, graded
+
+
+def dist(machine, A, P):
+    return DistMatrix.from_global(machine, A, BlockRowLayout(balanced_sizes(A.shape[0], P)))
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize(
+    "m,n,P,b", [(16, 4, 2, 1), (64, 8, 4, 2), (96, 12, 8, 3), (128, 16, 4, 4), (40, 5, 5, 5)]
+)
+class TestCAQR1DCorrectness:
+    def test_factorization(self, m, n, P, b, complex_):
+        A = gaussian(m, n, seed=m + P, complex_=complex_)
+        machine = Machine(P)
+        res = qr_1d_caqr_eg(dist(machine, A, P), root=0, b=b)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.ok(1e-9), d
+
+    def test_v_distribution(self, m, n, P, b, complex_):
+        A = gaussian(m, n, seed=1, complex_=complex_)
+        machine = Machine(P)
+        dA = dist(machine, A, P)
+        res = qr_1d_caqr_eg(dA, root=0, b=b)
+        assert res.V.layout.same_as(dA.layout)
+
+
+class TestCAQR1DReducesToTSQR:
+    def test_b_equals_n_matches_tsqr_exactly(self):
+        """b = n is a single tsqr call (the paper's degenerate case)."""
+        A = gaussian(64, 8, seed=2)
+        m1, m2 = Machine(4), Machine(4)
+        r1 = qr_1d_caqr_eg(dist(m1, A, 4), root=0, b=8)
+        r2 = tsqr(dist(m2, A, 4), root=0)
+        assert np.allclose(r1.R, r2.R)
+        assert np.allclose(r1.T, r2.T)
+        assert np.allclose(r1.V.to_global(), r2.V.to_global())
+        assert m1.report().critical_words == m2.report().critical_words
+        assert m1.report().critical_messages == m2.report().critical_messages
+
+    def test_different_b_same_r_up_to_phase(self):
+        A = gaussian(64, 8, seed=3)
+        Rs = []
+        for b in (1, 2, 4, 8):
+            machine = Machine(4)
+            res = qr_1d_caqr_eg(dist(machine, A, 4), root=0, b=b)
+            Rs.append(res.R)
+        for R in Rs[1:]:
+            assert np.allclose(np.abs(R), np.abs(Rs[0]), atol=1e-9)
+
+
+class TestCAQR1DParameterPolicy:
+    def test_eps_policy_default(self):
+        A = gaussian(128, 16, seed=4)
+        machine = Machine(8)
+        res = qr_1d_caqr_eg(dist(machine, A, 8), root=0, eps=1.0)
+        assert res.b == choose_b_1d(16, 8, 1.0)
+
+    def test_eps_zero_is_tsqr(self):
+        assert choose_b_1d(16, 8, eps=0.0) == 16
+        assert choose_b_1d(16, 8, eps=-1.0) == 16
+
+    def test_eps_one_divides_by_logp(self):
+        assert choose_b_1d(64, 16, eps=1.0) == 16  # 64 / log2(16)
+
+    def test_b_clamped_to_valid_range(self):
+        assert 1 <= choose_b_1d(3, 1024, eps=1.0) <= 3
+
+    def test_invalid_b_rejected(self):
+        A = gaussian(16, 4, seed=5)
+        machine = Machine(2)
+        with pytest.raises(ParameterError):
+            qr_1d_caqr_eg(dist(machine, A, 2), root=0, b=0)
+
+
+class TestCAQR1DTradeoff:
+    """Eq. 11: smaller b lowers bandwidth, raises latency."""
+
+    @staticmethod
+    def run(A, P, b):
+        machine = Machine(P)
+        qr_1d_caqr_eg(dist(machine, A, P), root=0, b=b)
+        rep = machine.report()
+        return rep.critical_words, rep.critical_messages
+
+    def test_tradeoff_direction(self):
+        # Large n and P so the log-factor savings are visible.
+        A = gaussian(16 * 32, 32, seed=6)
+        w_tsqr, s_tsqr = self.run(A, 16, b=32)     # eps <= 0: tsqr
+        w_deep, s_deep = self.run(A, 16, b=8)      # eps = 1: b = n/log P
+        assert w_deep < w_tsqr            # bandwidth shrinks
+        assert s_deep > s_tsqr            # latency grows
+
+    def test_words_approach_n_squared(self):
+        """At eps=1 the words should be O(n^2), not O(n^2 log P)."""
+        n = 32
+        A = gaussian(16 * n, n, seed=7)
+        w_tsqr, _ = self.run(A, 16, b=n)
+        w, _ = self.run(A, 16, b=n // 4)
+        assert w <= 10.0 * n * n          # constant independent of log P
+        assert w <= 0.6 * w_tsqr          # and clearly below tsqr's n^2 log P
+
+    def test_messages_scale_as_n_over_b(self):
+        """Eq. 11's latency term: S = Theta((n/b) log P)."""
+        from repro.analysis import fit_exponent
+
+        n, P = 32, 8
+        A = gaussian(16 * n, n, seed=8)
+        bs = (4, 8, 16)
+        ss = [self.run(A, P, b)[1] for b in bs]
+        slope = fit_exponent([n / b for b in bs], ss)
+        assert 0.6 <= slope <= 1.5, (ss, slope)
+
+
+class TestCAQR1DNumerics:
+    def test_graded(self):
+        A = graded(96, 12, cond=1e13, seed=9)
+        machine = Machine(4)
+        res = qr_1d_caqr_eg(dist(machine, A, 4), root=0, b=3)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.orthogonality < 1e-9
+        assert d.residual < 1e-9
+
+    def test_single_processor(self):
+        A = gaussian(32, 8, seed=10)
+        machine = Machine(1)
+        res = qr_1d_caqr_eg(dist(machine, A, 1), root=0, b=2)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.ok(1e-10)
+
+    def test_n_equals_one(self):
+        A = gaussian(16, 1, seed=11)
+        machine = Machine(2)
+        res = qr_1d_caqr_eg(dist(machine, A, 2), root=0, b=1)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.ok(1e-12)

@@ -1,0 +1,142 @@
+"""Tests for 3d-caqr-eg: correctness, distribution contract, tradeoff."""
+
+import numpy as np
+import pytest
+
+from repro.dist import CyclicRowLayout, DistMatrix, head_layout
+from repro.machine import Machine, ParameterError
+from repro.qr import qr_3d_caqr_eg
+from repro.qr.params import choose_b_3d, choose_bstar
+from repro.qr.validate import validate_result
+from repro.workloads import gaussian, graded
+
+
+def dist(machine, A, P):
+    return DistMatrix.from_global(machine, A, CyclicRowLayout(A.shape[0], P))
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize(
+    "m,n,P,b,bstar",
+    [(16, 4, 2, 2, 1), (32, 8, 4, 4, 2), (64, 16, 4, 8, 4), (24, 24, 4, 12, 6), (40, 10, 8, 5, 2)],
+)
+class TestCAQR3DCorrectness:
+    def test_factorization(self, m, n, P, b, bstar, complex_):
+        A = gaussian(m, n, seed=m + n + P, complex_=complex_)
+        machine = Machine(P)
+        res = qr_3d_caqr_eg(dist(machine, A, P), b=b, bstar=bstar)
+        assert validate_result(A, res).ok(1e-9)
+
+    def test_output_distributions(self, m, n, P, b, bstar, complex_):
+        A = gaussian(m, n, seed=3, complex_=complex_)
+        machine = Machine(P)
+        dA = dist(machine, A, P)
+        res = qr_3d_caqr_eg(dA, b=b, bstar=bstar)
+        # V like A; T and R like A's leading n rows (paper Section 7).
+        assert res.V.layout.same_as(dA.layout)
+        expected = head_layout(dA.layout, n)
+        assert res.T.layout.same_as(expected)
+        assert res.R.layout.same_as(expected)
+
+
+class TestCAQR3DShapes:
+    def test_square_matrix(self):
+        A = gaussian(32, 32, seed=5)
+        machine = Machine(4)
+        res = qr_3d_caqr_eg(dist(machine, A, 4), b=8, bstar=4)
+        assert validate_result(A, res).ok(1e-9)
+
+    def test_single_processor(self):
+        A = gaussian(24, 12, seed=6)
+        machine = Machine(1)
+        res = qr_3d_caqr_eg(dist(machine, A, 1), b=4, bstar=2)
+        assert validate_result(A, res).ok(1e-9)
+
+    def test_more_procs_than_aspect(self):
+        # P = 8 > m/n = 4: base case must shrink to P* representatives.
+        A = gaussian(32, 8, seed=7)
+        machine = Machine(8)
+        res = qr_3d_caqr_eg(dist(machine, A, 8), b=8, bstar=4)
+        assert validate_result(A, res).ok(1e-9)
+
+    def test_immediate_base_case(self):
+        # b >= n: one base case, pure 1d-caqr-eg + redistributions.
+        A = gaussian(64, 8, seed=8)
+        machine = Machine(4)
+        res = qr_3d_caqr_eg(dist(machine, A, 4), b=8, bstar=2)
+        assert validate_result(A, res).ok(1e-9)
+
+    def test_index_alltoall_variant(self):
+        A = gaussian(32, 8, seed=9)
+        machine = Machine(4)
+        res = qr_3d_caqr_eg(dist(machine, A, 4), b=4, bstar=2, method="index")
+        assert validate_result(A, res).ok(1e-9)
+
+    def test_wide_matrix_rejected(self):
+        A = gaussian(8, 16, seed=10)
+        machine = Machine(2)
+        with pytest.raises(ParameterError):
+            qr_3d_caqr_eg(dist(machine, A, 2))
+
+    def test_bad_thresholds_rejected(self):
+        A = gaussian(16, 8, seed=11)
+        machine = Machine(2)
+        with pytest.raises(ParameterError):
+            qr_3d_caqr_eg(dist(machine, A, 2), b=2, bstar=4)  # bstar > b
+
+    def test_graded_matrix(self):
+        A = graded(48, 12, cond=1e12, seed=12)
+        machine = Machine(4)
+        res = qr_3d_caqr_eg(dist(machine, A, 4), b=6, bstar=3)
+        d = validate_result(A, res)
+        assert d.orthogonality < 1e-9
+        assert d.residual < 1e-9
+
+
+class TestCAQR3DParameterPolicy:
+    def test_delta_policy(self):
+        # b = n / (nP/m)^delta
+        assert choose_b_3d(64, 64, 16, delta=0.5) == 16
+        assert choose_b_3d(64, 64, 16, delta=0.0) == 64
+
+    def test_delta_tall_matrix_floors_aspect(self):
+        # nP/m < 1: threshold is n (one base case).
+        assert choose_b_3d(10_000, 10, 4, delta=0.5) == 10
+
+    def test_bstar_policy(self):
+        assert choose_bstar(16, 16) == 4  # 16 / log2(16)
+        assert choose_bstar(16, 1) == 16
+
+    def test_policy_applied_by_default(self):
+        A = gaussian(64, 16, seed=13)
+        machine = Machine(4)
+        res = qr_3d_caqr_eg(dist(machine, A, 4), delta=0.5)
+        assert res.b == choose_b_3d(64, 16, 4, 0.5)
+        assert res.bstar == choose_bstar(res.b, 4, 1.0)
+
+
+class TestCAQR3DTradeoff:
+    """Theorem 1's direction: larger delta => fewer words, more messages."""
+
+    @staticmethod
+    def run(A, P, delta):
+        machine = Machine(P)
+        qr_3d_caqr_eg(dist(machine, A, P), delta=delta)
+        rep = machine.report()
+        return rep.critical_words, rep.critical_messages
+
+    def test_r_agrees_across_deltas(self):
+        A = gaussian(48, 24, seed=14)
+        Rs = []
+        for delta in (0.5, 2.0 / 3.0):
+            machine = Machine(4)
+            res = qr_3d_caqr_eg(dist(machine, A, 4), delta=delta)
+            Rs.append(res.R.to_global())
+        assert np.allclose(np.abs(Rs[0]), np.abs(Rs[1]), atol=1e-9)
+
+    def test_latency_grows_with_delta(self):
+        A = gaussian(64, 64, seed=15)
+        _, s_half = self.run(A, 8, 0.5)
+        _, s_twothirds = self.run(A, 8, 2.0 / 3.0)
+        # Smaller b* => more base cases on the critical path.
+        assert s_twothirds >= s_half * 0.9  # allow rounding plateau

@@ -1,0 +1,162 @@
+"""Measured collective costs vs the Table 1 bounds.
+
+The paper's Lemma 1 claims each collective satisfies the Table 1 upper
+bounds.  We run each implementation, measure per-metric critical paths
+on the simulator, and assert they stay within small constant factors of
+the bounds (constants absorb the ceil/floor slack of ragged P).
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    CommContext,
+    all_gather,
+    all_reduce_bidirectional,
+    all_to_all_blocks,
+    broadcast_bidirectional,
+    broadcast_binomial,
+    gather,
+    reduce_bidirectional,
+    reduce_binomial,
+    reduce_scatter,
+    scatter,
+)
+from repro.collectives.bounds import TABLE1
+from repro.machine import Machine
+
+#: Constant-factor slack: 2x on words (ragged trees), 4x on messages
+#: (each hop charges send+recv and two-phase doubles rounds).
+WORD_SLACK = 3.5
+MSG_SLACK = 4.5
+
+PS = [2, 4, 5, 8, 13, 16]
+B = 64
+
+
+def run_and_measure(P, fn):
+    machine = Machine(P)
+    ctx = CommContext.world(machine)
+    fn(ctx)
+    rep = machine.report()
+    return {
+        "flops": rep.critical_flops,
+        "words": rep.critical_words,
+        "messages": rep.critical_messages,
+    }
+
+
+def check(measured, bound):
+    assert measured["words"] <= WORD_SLACK * max(bound["words"], 1), (measured, bound)
+    assert measured["messages"] <= MSG_SLACK * max(bound["messages"], 1), (measured, bound)
+    if bound["flops"] == 0:
+        assert measured["flops"] == 0
+    else:
+        assert measured["flops"] <= WORD_SLACK * bound["flops"]
+
+
+@pytest.mark.parametrize("P", PS)
+class TestTable1Bounds:
+    def test_scatter(self, P, rng=np.random.default_rng(0)):
+        blocks = [rng.standard_normal(B) for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: scatter(ctx, 0, blocks))
+        check(got, TABLE1["scatter"](P, B))
+
+    def test_gather(self, P, rng=np.random.default_rng(1)):
+        contribs = [rng.standard_normal(B) for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: gather(ctx, 0, contribs))
+        check(got, TABLE1["gather"](P, B))
+
+    def test_broadcast_binomial_matches_blogp(self, P):
+        v = np.zeros(B)
+        got = run_and_measure(P, lambda ctx: broadcast_binomial(ctx, 0, v))
+        from repro.util import ilog2
+
+        assert got["words"] <= 2.0 * B * max(ilog2(P), 1)
+        assert got["messages"] <= MSG_SLACK * max(ilog2(P), 1)
+
+    def test_broadcast_bidirectional_beats_log_factor(self, P):
+        # For B >> P the bidirectional broadcast moves O(B) words.
+        big = 4096
+        v = np.zeros(big)
+        got = run_and_measure(P, lambda ctx: broadcast_bidirectional(ctx, 0, v))
+        assert got["words"] <= 7.0 * big  # independent of P
+
+    def test_reduce_binomial(self, P, rng=np.random.default_rng(2)):
+        contribs = [rng.standard_normal(B) for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: reduce_binomial(ctx, 0, contribs))
+        from repro.util import ilog2
+
+        lp = max(ilog2(P), 1)
+        assert got["words"] <= 2.0 * B * lp
+        assert got["flops"] <= 2.0 * B * lp
+
+    def test_reduce_bidirectional_bandwidth(self, P, rng=np.random.default_rng(3)):
+        big = 4096
+        contribs = [rng.standard_normal(big) for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: reduce_bidirectional(ctx, 0, contribs))
+        assert got["words"] <= 7.0 * big
+
+    def test_all_gather(self, P, rng=np.random.default_rng(4)):
+        blocks = [rng.standard_normal(B) for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: all_gather(ctx, blocks))
+        check(got, TABLE1["all_gather"](P, B))
+
+    def test_reduce_scatter(self, P, rng=np.random.default_rng(5)):
+        contribs = [[rng.standard_normal(B) for _ in range(P)] for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: reduce_scatter(ctx, contribs))
+        check(got, TABLE1["reduce_scatter"](P, B))
+
+    def test_all_reduce_bidirectional(self, P, rng=np.random.default_rng(6)):
+        big = 2048
+        contribs = [rng.standard_normal(big) for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: all_reduce_bidirectional(ctx, contribs))
+        assert got["words"] <= 7.0 * big
+        assert got["flops"] <= 7.0 * big
+
+    @pytest.mark.parametrize("method", ["index", "two_phase"])
+    def test_all_to_all(self, P, method, rng=np.random.default_rng(7)):
+        blocks = [[rng.standard_normal(B) for _ in range(P)] for _ in range(P)]
+        got = run_and_measure(P, lambda ctx: all_to_all_blocks(ctx, blocks, method=method))
+        bound = TABLE1["all_to_all"](P, B, B_star=B * P)
+        assert got["words"] <= 3.0 * max(bound["words"], 1)
+        assert got["messages"] <= 2 * MSG_SLACK * max(bound["messages"], 1)
+
+
+class TestScalingShapes:
+    """The *growth* of cost with P is the real content of Table 1."""
+
+    def test_scatter_words_grow_linearly_in_p(self):
+        from repro.analysis import fit_exponent
+
+        words = []
+        for P in (4, 8, 16, 32):
+            got = run_and_measure(P, lambda ctx: scatter(ctx, 0, [np.zeros(B)] * ctx.size))
+            words.append(got["words"])
+        slope = fit_exponent([4, 8, 16, 32], words)
+        assert 0.8 <= slope <= 1.2  # Theta(P B)
+
+    def test_binomial_broadcast_words_grow_log(self):
+        words = []
+        for P in (4, 16, 64):
+            got = run_and_measure(P, lambda ctx: broadcast_binomial(ctx, 0, np.zeros(B)))
+            words.append(got["words"])
+        # log P doubling: 2 -> 4 -> 6 levels; ratios well below linear.
+        assert words[1] / words[0] <= 2.5
+        assert words[2] / words[1] <= 2.0
+
+    def test_bidirectional_broadcast_words_flat_in_p(self):
+        words = []
+        for P in (4, 16, 64):
+            got = run_and_measure(
+                P, lambda ctx: broadcast_bidirectional(ctx, 0, np.zeros(4096))
+            )
+            words.append(got["words"])
+        assert max(words) / min(words) <= 1.6  # ~2B regardless of P
+
+    def test_messages_grow_logarithmically(self):
+        msgs = []
+        for P in (4, 16, 64):
+            got = run_and_measure(P, lambda ctx: gather(ctx, 0, [np.zeros(4)] * ctx.size))
+            msgs.append(got["messages"])
+        assert msgs[2] <= 3.5 * msgs[0]

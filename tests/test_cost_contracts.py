@@ -1,0 +1,171 @@
+"""Cost-contract tests: communication shapes of the library primitives.
+
+Beyond correctness, each primitive promises a cost shape.  These tests
+pin the promises that the algorithm analyses depend on, so a regression
+that silently changes communication volume fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix, redistribute_rows
+from repro.machine import Machine
+from repro.qr import apply_q_1d, form_q_1d, solve_least_squares, tsqr
+from repro.util import balanced_sizes, ilog2
+from repro.workloads import gaussian
+
+
+def dist(machine, A, P):
+    return DistMatrix.from_global(machine, A, BlockRowLayout(balanced_sizes(A.shape[0], P)))
+
+
+class TestApplyQCosts:
+    def test_words_independent_of_m(self):
+        """apply_q_1d moves O(nk log P) words -- none of the m rows travel."""
+        n, k, P = 8, 4, 4
+        words = []
+        for m in (64, 256, 1024):
+            machine = Machine(P)
+            res = tsqr(dist(machine, gaussian(m, n, seed=1), P), 0)
+            base = machine.report().critical_words
+            C = DistMatrix.from_global(machine, gaussian(m, k, seed=2), res.V.layout)
+            apply_q_1d(res.V, res.T, C, 0)
+            words.append(machine.report().critical_words - base)
+        assert max(words) / min(words) < 1.3, words
+
+    def test_messages_logarithmic(self):
+        n, k = 8, 4
+        msgs = []
+        for P in (2, 8, 32):
+            m = 64 * P
+            machine = Machine(P)
+            res = tsqr(dist(machine, gaussian(m, n, seed=3), P), 0)
+            base = machine.report().critical_messages
+            C = DistMatrix.from_global(machine, gaussian(m, k, seed=4), res.V.layout)
+            apply_q_1d(res.V, res.T, C, 0)
+            msgs.append(machine.report().critical_messages - base)
+        assert msgs[2] <= msgs[0] * 4 * ilog2(32)
+
+    def test_flops_scale_with_local_rows(self):
+        n, k, P = 8, 4, 4
+        m = 512
+        machine = Machine(P)
+        res = tsqr(dist(machine, gaussian(m, n, seed=5), P), 0)
+        base = machine.report().critical_flops
+        C = DistMatrix.from_global(machine, gaussian(m, k, seed=6), res.V.layout)
+        apply_q_1d(res.V, res.T, C, 0)
+        extra = machine.report().critical_flops - base
+        # Two gemms of (m/P) x n x k plus small root work.
+        assert extra <= 10 * (m / P) * n * k + 10 * n * n * k
+
+
+class TestRedistributeCosts:
+    def test_words_bounded_by_volume(self):
+        m, n, P = 64, 8, 8
+        machine = Machine(P)
+        A = gaussian(m, n, seed=7)
+        dm = DistMatrix.from_global(machine, A, CyclicRowLayout(m, P))
+        redistribute_rows(dm, BlockRowLayout(balanced_sizes(m, P)))
+        rep = machine.report()
+        volume = m * n  # every entry moves at most once...
+        # ...but two-phase routes through intermediates: <= 2 hops, both
+        # endpoints charged, plus dealing slack.
+        assert rep.total_words_sent <= 5 * volume
+
+    def test_messages_logarithmic_in_p(self):
+        msgs = []
+        for P in (4, 16, 64):
+            machine = Machine(P)
+            A = gaussian(2 * P, 4, seed=8)
+            dm = DistMatrix.from_global(machine, A, CyclicRowLayout(2 * P, P))
+            redistribute_rows(dm, BlockRowLayout(balanced_sizes(2 * P, P)))
+            msgs.append(machine.report().critical_messages)
+        assert msgs[2] <= 4 * msgs[0], msgs
+
+
+class TestLabelAccounting:
+    def test_volume_decomposition_sums(self):
+        from repro.workloads import run_qr
+
+        r = run_qr("caqr3d", gaussian(64, 32, seed=9), P=4, validate=False)
+        total = sum(r.words_by_label.values())
+        assert total == pytest.approx(r.report.total_words_sent)
+        phases = r.words_by_phase()
+        assert sum(phases.values()) == pytest.approx(total)
+
+    def test_tsqr_labels_present(self):
+        machine = Machine(4)
+        tsqr(dist(machine, gaussian(64, 8, seed=10), 4), 0)
+        labels = set(machine.words_by_label)
+        assert "tsqr_up" in labels and "tsqr_down" in labels
+
+    def test_reset_clears_labels(self):
+        machine = Machine(2)
+        machine.transfer(0, 1, np.zeros(4), label="x")
+        machine.reset()
+        assert machine.words_by_label == {}
+
+
+class TestExchangeRoundSemantics:
+    def test_parallel_round_cheaper_than_serial(self):
+        """The motivating property: a ring of simultaneous sends costs
+        O(1) rounds on the critical path, not O(P)."""
+        P, w = 16, 100
+        m_par = Machine(P)
+        m_par.exchange_round([(p, (p + 1) % P, np.zeros(w)) for p in range(P)])
+        m_ser = Machine(P)
+        for p in range(P):
+            m_ser.transfer(p, (p + 1) % P, np.zeros(w))
+        assert m_par.report().critical_words == 2 * w
+        assert m_ser.report().critical_words > 2 * w  # chained inflation
+
+    def test_round_trace_consistent_with_clocks(self):
+        machine = Machine(4, trace=True)
+        machine.compute(0, 10)
+        machine.exchange_round([(0, 1, np.zeros(3)), (1, 0, np.zeros(5)), (2, 3, np.zeros(2))])
+        machine.exchange_round([(3, 0, np.zeros(1))])
+        rep = machine.report()
+        for metric in ("flops", "words", "messages"):
+            assert abs(machine.trace.critical_path(metric) - getattr(rep, f"critical_{metric}")) < 1e-9
+
+    def test_self_transfer_in_round_free(self):
+        machine = Machine(2)
+        machine.exchange_round([(0, 0, np.zeros(100)), (0, 1, np.zeros(2))])
+        assert machine.report().total_words_sent == 2
+
+    def test_repeated_sender_serializes(self):
+        machine = Machine(3)
+        machine.exchange_round([(0, 1, np.zeros(5)), (0, 2, np.zeros(5))])
+        # Two sends on rank 0's path: 10 words there; receivers see
+        # send-chain + own recv.
+        assert machine.clocks.per_processor("words")[0] == 10
+
+
+class TestSolveCosts:
+    def test_ls_cheaper_than_refactoring(self):
+        """Once factored, extra right-hand sides cost O(nk) words, not a
+        new factorization."""
+        m, n, P = 512, 16, 8
+        machine = Machine(P)
+        lay = BlockRowLayout(balanced_sizes(m, P))
+        A = gaussian(m, n, seed=11)
+        res = tsqr(DistMatrix.from_global(machine, A, lay), 0)
+        w_factor = machine.report().critical_words
+        b = DistMatrix.from_global(machine, gaussian(m, 1, seed=12), lay)
+        solve_least_squares(res.V, res.T, res.R, b, 0)
+        w_solve = machine.report().critical_words - w_factor
+        assert w_solve < 0.5 * w_factor
+
+    def test_form_q_words_scale_with_k(self):
+        m, n, P = 256, 16, 4
+        machine = Machine(P)
+        res = tsqr(dist(machine, gaussian(m, n, seed=13), P), 0)
+        base = machine.report().critical_words
+        form_q_1d(res.V, res.T, 0, n_cols=4)
+        w4 = machine.report().critical_words - base
+        machine2 = Machine(P)
+        res2 = tsqr(dist(machine2, gaussian(m, n, seed=13), P), 0)
+        base2 = machine2.report().critical_words
+        form_q_1d(res2.V, res2.T, 0, n_cols=16)
+        w16 = machine2.report().critical_words - base2
+        assert w16 > w4

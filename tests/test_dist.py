@@ -1,0 +1,242 @@
+"""Tests for layouts, DistMatrix, redistribution, and BlockCyclic2D."""
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    BlockRowLayout,
+    CyclicRowLayout,
+    DistMatrix,
+    ExplicitRowLayout,
+    head_layout,
+    redistribute_rows,
+    tail_layout,
+)
+from repro.dist.blockcyclic import BlockCyclic2D, choose_grid_2d
+from repro.machine import DistributionError, Machine, OwnershipError
+from repro.util import balanced_sizes
+
+
+class TestCyclicRowLayout:
+    def test_owner_pattern(self):
+        lay = CyclicRowLayout(10, 3)
+        assert [lay.owner(i) for i in range(10)] == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_rows_of(self):
+        lay = CyclicRowLayout(10, 3)
+        assert lay.rows_of(0).tolist() == [0, 3, 6, 9]
+        assert lay.rows_of(2).tolist() == [2, 5, 8]
+
+    def test_counts_balanced(self):
+        lay = CyclicRowLayout(11, 4)
+        counts = [lay.count(p) for p in range(4)]
+        assert sum(counts) == 11
+        assert max(counts) - min(counts) <= 1
+
+    def test_custom_ranks(self):
+        lay = CyclicRowLayout(4, 2, ranks=[5, 3])
+        assert lay.owner(0) == 5
+        assert lay.owner(1) == 3
+
+    def test_rejects_zero_p(self):
+        with pytest.raises(DistributionError):
+            CyclicRowLayout(4, 0)
+
+
+class TestBlockRowLayout:
+    def test_contiguous_blocks(self):
+        lay = BlockRowLayout([3, 2, 4])
+        assert lay.owner(0) == 0
+        assert lay.owner(3) == 1
+        assert lay.owner(5) == 2
+        assert lay.m == 9
+
+    def test_empty_block_allowed(self):
+        lay = BlockRowLayout([2, 0, 3])
+        assert lay.count(1) == 0
+        assert lay.participants() == [0, 2]
+
+    def test_custom_ranks(self):
+        lay = BlockRowLayout([1, 1], ranks=[7, 2])
+        assert lay.owner(0) == 7
+        assert lay.owner(1) == 2
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(DistributionError):
+            BlockRowLayout([2, -1])
+
+
+class TestLayoutHelpers:
+    def test_head_layout(self):
+        lay = CyclicRowLayout(10, 3)
+        h = head_layout(lay, 4)
+        assert h.m == 4
+        assert [h.owner(i) for i in range(4)] == [0, 1, 2, 0]
+
+    def test_tail_layout(self):
+        lay = CyclicRowLayout(10, 3)
+        t = tail_layout(lay, 4)
+        assert t.m == 6
+        assert t.owner(0) == lay.owner(4)
+
+    def test_head_out_of_range(self):
+        with pytest.raises(DistributionError):
+            head_layout(CyclicRowLayout(5, 2), 6)
+
+    def test_same_as(self):
+        a = CyclicRowLayout(6, 2)
+        b = ExplicitRowLayout([0, 1, 0, 1, 0, 1])
+        assert a.same_as(b)
+        assert not a.same_as(ExplicitRowLayout([0, 0, 0, 1, 1, 1]))
+
+    def test_owners_read_only(self):
+        lay = CyclicRowLayout(4, 2)
+        with pytest.raises(ValueError):
+            lay.owners()[0] = 1
+
+
+class TestDistMatrix:
+    def test_roundtrip(self, rng):
+        m = Machine(3)
+        A = rng.standard_normal((10, 4))
+        dm = DistMatrix.from_global(m, A, CyclicRowLayout(10, 3))
+        assert np.allclose(dm.to_global(), A)
+
+    def test_local_shapes(self, rng):
+        m = Machine(3)
+        A = rng.standard_normal((10, 4))
+        dm = DistMatrix.from_global(m, A, CyclicRowLayout(10, 3))
+        assert dm.local(0).shape == (4, 4)
+        assert dm.local(2).shape == (3, 4)
+
+    def test_local_rows_sorted_by_global(self, rng):
+        m = Machine(2)
+        A = rng.standard_normal((6, 2))
+        dm = DistMatrix.from_global(m, A, CyclicRowLayout(6, 2))
+        assert np.allclose(dm.local(1), A[[1, 3, 5], :])
+
+    def test_zeros(self):
+        m = Machine(2)
+        dm = DistMatrix.zeros(m, BlockRowLayout([2, 3]), 4)
+        assert dm.to_global().shape == (5, 4)
+        assert not dm.to_global().any()
+
+    def test_gather_to_root_charges(self, rng):
+        m = Machine(4)
+        A = rng.standard_normal((8, 3))
+        dm = DistMatrix.from_global(m, A, CyclicRowLayout(8, 4))
+        out = dm.gather_to_root(0)
+        assert np.allclose(out, A)
+        assert m.report().critical_words > 0
+
+    def test_from_global_free(self, rng):
+        m = Machine(4)
+        DistMatrix.from_global(m, rng.standard_normal((8, 3)), CyclicRowLayout(8, 4))
+        assert m.report().critical_words == 0
+
+    def test_set_local_validates_shape(self, rng):
+        m = Machine(2)
+        dm = DistMatrix.zeros(m, BlockRowLayout([2, 2]), 3)
+        with pytest.raises(DistributionError):
+            dm.set_local(0, np.zeros((5, 3)))
+
+    def test_nonowner_access_raises(self):
+        m = Machine(3)
+        dm = DistMatrix.zeros(m, BlockRowLayout([2, 0, 3]), 1)
+        with pytest.raises(OwnershipError):
+            dm.local(1)
+
+    def test_copy_independent(self, rng):
+        m = Machine(2)
+        A = rng.standard_normal((4, 2))
+        dm = DistMatrix.from_global(m, A, BlockRowLayout([2, 2]))
+        cp = dm.copy()
+        cp.local(0)[:] = 0
+        assert np.allclose(dm.to_global(), A)
+
+    def test_shape_mismatch_rejected(self, rng):
+        m = Machine(2)
+        with pytest.raises(DistributionError):
+            DistMatrix(m, BlockRowLayout([2, 2]), 3, {0: np.zeros((2, 3)), 1: np.zeros((1, 3))})
+
+
+@pytest.mark.parametrize("method", ["index", "two_phase"])
+class TestRedistribute:
+    def test_cyclic_to_block(self, method, rng):
+        m = Machine(4)
+        A = rng.standard_normal((17, 3))
+        dm = DistMatrix.from_global(m, A, CyclicRowLayout(17, 4))
+        out = redistribute_rows(dm, BlockRowLayout(balanced_sizes(17, 4)), method=method)
+        assert np.allclose(out.to_global(), A)
+
+    def test_roundtrip(self, method, rng):
+        m = Machine(3)
+        A = rng.standard_normal((11, 5))
+        cyc = CyclicRowLayout(11, 3)
+        blk = BlockRowLayout(balanced_sizes(11, 3))
+        dm = DistMatrix.from_global(m, A, cyc)
+        back = redistribute_rows(redistribute_rows(dm, blk, method=method), cyc, method=method)
+        assert np.allclose(back.to_global(), A)
+
+    def test_identity_is_noop(self, method, rng):
+        m = Machine(2)
+        A = rng.standard_normal((6, 2))
+        lay = CyclicRowLayout(6, 2)
+        dm = DistMatrix.from_global(m, A, lay)
+        out = redistribute_rows(dm, CyclicRowLayout(6, 2), method=method)
+        assert out is dm  # same owners -> zero cost shortcut
+        assert m.report().critical_words == 0
+
+    def test_to_disjoint_ranks(self, method, rng):
+        m = Machine(6)
+        A = rng.standard_normal((8, 2))
+        dm = DistMatrix.from_global(m, A, CyclicRowLayout(8, 3, ranks=[0, 1, 2]))
+        out = redistribute_rows(dm, CyclicRowLayout(8, 3, ranks=[3, 4, 5]), method=method)
+        assert np.allclose(out.to_global(), A)
+        assert out.layout.participants() == [3, 4, 5]
+
+    def test_mismatched_m_rejected(self, method, rng):
+        m = Machine(2)
+        dm = DistMatrix.zeros(m, BlockRowLayout([2, 2]), 1)
+        with pytest.raises(DistributionError):
+            redistribute_rows(dm, BlockRowLayout([3, 2]), method=method)
+
+
+class TestBlockCyclic2D:
+    def test_roundtrip(self, rng):
+        m = Machine(6)
+        A = rng.standard_normal((13, 9))
+        bc = BlockCyclic2D.from_global(m, A, pr=2, pc=3, bb=2)
+        assert np.allclose(bc.to_global(), A)
+
+    def test_ownership_pattern(self):
+        m = Machine(4)
+        bc = BlockCyclic2D(m, 8, 8, 2, 2, 2)
+        assert bc.prow_of(0) == 0 and bc.prow_of(2) == 1 and bc.prow_of(4) == 0
+        assert bc.pcol_of(3) == 1
+
+    def test_rows_of_start(self):
+        m = Machine(4)
+        bc = BlockCyclic2D(m, 10, 4, 2, 2, 2)
+        assert bc.rows_of(0).tolist() == [0, 1, 4, 5, 8, 9]
+        assert bc.rows_of(0, start=4).tolist() == [4, 5, 8, 9]
+
+    def test_groups(self):
+        m = Machine(6)
+        bc = BlockCyclic2D(m, 4, 4, 2, 3, 1)
+        assert bc.row_group(0) == [0, 1, 2]
+        assert bc.col_group(1) == [1, 4]
+
+    def test_grid_too_big_rejected(self):
+        with pytest.raises(DistributionError):
+            BlockCyclic2D(Machine(2), 4, 4, 2, 2, 1)
+
+    def test_choose_grid_squareish(self):
+        r, c = choose_grid_2d(100, 100, 16)
+        assert r * c <= 16
+        assert abs(r - c) <= 2  # square matrix -> square-ish grid
+
+    def test_choose_grid_tall(self):
+        r, c = choose_grid_2d(10000, 100, 16)
+        assert c <= 2  # very tall -> almost-1D grid
+        assert r * c <= 16

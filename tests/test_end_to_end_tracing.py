@@ -1,0 +1,110 @@
+"""End-to-end canaries: full algorithms under tracing.
+
+Runs every major algorithm with the event trace enabled and
+cross-checks the online max-plus clocks against the offline
+longest-path computation on the exported DAG.  Any accounting bug
+anywhere in the stack -- a missed happens-before edge, a double-charged
+message -- fails here even if the numerics stay correct.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
+from repro.machine import Machine
+from repro.qr import (
+    qr_1d_caqr_eg,
+    qr_1d_caqr_eg_rightlooking,
+    qr_3d_caqr_eg,
+    qr_house_1d,
+    tsqr,
+)
+from repro.util import balanced_sizes
+from repro.workloads import gaussian
+from tests.conftest import assert_clocks_match_trace
+
+
+def dist(machine, A, P):
+    return DistMatrix.from_global(machine, A, BlockRowLayout(balanced_sizes(A.shape[0], P)))
+
+
+class TestTracedAlgorithms:
+    def test_tsqr(self):
+        machine = Machine(8, trace=True)
+        tsqr(dist(machine, gaussian(128, 8, seed=0), 8), 0)
+        assert_clocks_match_trace(machine)
+
+    def test_caqr1d(self):
+        machine = Machine(8, trace=True)
+        qr_1d_caqr_eg(dist(machine, gaussian(128, 8, seed=1), 8), 0, b=2)
+        assert_clocks_match_trace(machine)
+
+    def test_house1d(self):
+        machine = Machine(4, trace=True)
+        qr_house_1d(dist(machine, gaussian(64, 6, seed=2), 4), 0)
+        assert_clocks_match_trace(machine)
+
+    @pytest.mark.parametrize("method", ["two_phase", "index"])
+    def test_caqr3d(self, method):
+        machine = Machine(4, trace=True)
+        A = gaussian(32, 16, seed=3)
+        dA = DistMatrix.from_global(machine, A, CyclicRowLayout(32, 4))
+        qr_3d_caqr_eg(dA, b=8, bstar=4, method=method)
+        assert_clocks_match_trace(machine)
+
+    def test_rightlooking(self):
+        machine = Machine(4, trace=True)
+        qr_1d_caqr_eg_rightlooking(dist(machine, gaussian(64, 8, seed=4), 4), 0, nb=4)
+        assert_clocks_match_trace(machine)
+
+    def test_house2d_and_caqr2d(self):
+        from repro.qr import qr_caqr_2d, qr_house_2d
+
+        for fn in (qr_house_2d, qr_caqr_2d):
+            machine = Machine(4, trace=True)
+            fn(machine=machine, A_global=gaussian(24, 12, seed=5), bb=3)
+            assert_clocks_match_trace(machine)
+
+
+class TestLabelCoverage:
+    """Each algorithm's traffic carries the labels its phase reports use."""
+
+    def test_caqr3d_labels(self):
+        machine = Machine(4)
+        A = gaussian(32, 16, seed=6)
+        dA = DistMatrix.from_global(machine, A, CyclicRowLayout(32, 4))
+        qr_3d_caqr_eg(dA, b=8, bstar=4)
+        labels = set(machine.words_by_label)
+        assert any(lbl.startswith("alltoall") for lbl in labels)
+        assert "all_gather" in labels or "reduce_scatter" in labels
+        assert any(lbl.startswith("tsqr") for lbl in labels)
+
+    def test_no_unlabeled_traffic_in_core_algorithms(self):
+        machine = Machine(8)
+        tsqr(dist(machine, gaussian(128, 8, seed=7), 8), 0)
+        assert "unlabeled" not in machine.words_by_label
+
+
+class TestTreeStructure:
+    def test_tsqr_message_count_exact(self):
+        """Upsweep + downsweep + U broadcast: 3 tree passes of P-1 messages."""
+        for P in (2, 4, 8, 16):
+            machine = Machine(P)
+            tsqr(dist(machine, gaussian(32 * P, 4, seed=8), P), 0)
+            # Volume: each pass sends exactly P-1 messages.
+            assert machine.report().total_messages_sent == 3 * (P - 1)
+
+    def test_tsqr_upsweep_words_packed(self):
+        """R-factors travel packed: n(n+1)/2 words per upsweep edge."""
+        P, n = 4, 6
+        machine = Machine(P)
+        tsqr(dist(machine, gaussian(32 * P, n, seed=9), P), 0)
+        up = machine.words_by_label["tsqr_up"]
+        assert up == (P - 1) * n * (n + 1) / 2
+
+    def test_tsqr_downsweep_words_square(self):
+        P, n = 8, 5
+        machine = Machine(P)
+        tsqr(dist(machine, gaussian(16 * P, n, seed=10), P), 0)
+        down = machine.words_by_label["tsqr_down"]
+        assert down == (P - 1) * n * n

@@ -1,0 +1,289 @@
+"""Tests for the extension modules: apply-Q, wide QR, iterative variants, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
+from repro.machine import DistributionError, Machine, ParameterError
+from repro.qr import (
+    apply_q_1d,
+    apply_q_3d,
+    explicit_q,
+    form_q_1d,
+    qr_1d_caqr_eg_rightlooking,
+    qr_3d_caqr_eg,
+    qr_eg_hybrid,
+    qr_eg_rightlooking,
+    qr_eg_sequential,
+    qr_wide_3d,
+    qr_wide_sequential,
+    solve_least_squares,
+    tsqr,
+)
+from repro.qr.validate import qr_diagnostics
+from repro.util import balanced_sizes
+from repro.workloads import gaussian
+
+
+def dist(machine, A, P):
+    return DistMatrix.from_global(machine, A, BlockRowLayout(balanced_sizes(A.shape[0], P)))
+
+
+def full_q(V, T):
+    V = np.asarray(V)
+    return np.eye(V.shape[0]) - V @ T @ V.conj().T
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+class TestApplyQ1D:
+    def test_apply(self, complex_):
+        m, n, P = 64, 8, 4
+        A = gaussian(m, n, seed=0, complex_=complex_)
+        C = gaussian(m, 3, seed=1, complex_=complex_)
+        machine = Machine(P)
+        res = tsqr(dist(machine, A, P), 0)
+        dC = DistMatrix.from_global(machine, C, res.V.layout)
+        out = apply_q_1d(res.V, res.T, dC, 0)
+        assert np.allclose(out.to_global(), full_q(res.V.to_global(), res.T) @ C, atol=1e-11)
+
+    def test_adjoint_applied_to_a_gives_r(self, complex_):
+        m, n, P = 64, 8, 4
+        A = gaussian(m, n, seed=2, complex_=complex_)
+        machine = Machine(P)
+        dA = dist(machine, A, P)
+        res = tsqr(dA, 0)
+        out = apply_q_1d(res.V, res.T, dA, 0, adjoint=True)
+        glob = out.to_global()
+        assert np.allclose(glob[:n], res.R, atol=1e-11)
+        assert np.allclose(glob[n:], 0, atol=1e-11)
+
+    def test_roundtrip_identity(self, complex_):
+        m, n, P = 48, 6, 3
+        A = gaussian(m, n, seed=3, complex_=complex_)
+        C = gaussian(m, 4, seed=4, complex_=complex_)
+        machine = Machine(P)
+        res = tsqr(dist(machine, A, P), 0)
+        dC = DistMatrix.from_global(machine, C, res.V.layout)
+        back = apply_q_1d(res.V, res.T, apply_q_1d(res.V, res.T, dC, 0), 0, adjoint=True)
+        assert np.allclose(back.to_global(), C, atol=1e-11)
+
+
+class TestApplyQ1DContracts:
+    def test_layout_mismatch_rejected(self):
+        machine = Machine(2)
+        A = gaussian(16, 4, seed=5)
+        res = tsqr(dist(machine, A, 2), 0)
+        other = DistMatrix.from_global(machine, gaussian(16, 2, seed=6), CyclicRowLayout(16, 2))
+        with pytest.raises(DistributionError):
+            apply_q_1d(res.V, res.T, other, 0)
+
+    def test_form_q_matches_explicit(self):
+        m, n, P = 64, 8, 4
+        A = gaussian(m, n, seed=7)
+        machine = Machine(P)
+        res = tsqr(dist(machine, A, P), 0)
+        Qd = form_q_1d(res.V, res.T, 0)
+        assert np.allclose(Qd.to_global(), explicit_q(res.V.to_global(), res.T, n), atol=1e-11)
+
+    def test_form_q_partial_columns(self):
+        m, n, P = 64, 8, 4
+        A = gaussian(m, n, seed=8)
+        machine = Machine(P)
+        res = tsqr(dist(machine, A, P), 0)
+        Qd = form_q_1d(res.V, res.T, 0, n_cols=3)
+        assert Qd.n == 3
+        Qg = Qd.to_global()
+        assert np.allclose(Qg.conj().T @ Qg, np.eye(3), atol=1e-11)
+
+    def test_form_q_bad_cols(self):
+        machine = Machine(2)
+        res = tsqr(dist(machine, gaussian(16, 4, seed=9), 2), 0)
+        with pytest.raises(DistributionError):
+            form_q_1d(res.V, res.T, 0, n_cols=9)
+
+
+class TestSolveLeastSquares:
+    def test_matches_numpy(self):
+        m, n, P = 128, 8, 4
+        A = gaussian(m, n, seed=10)
+        b = gaussian(m, 2, seed=11)
+        machine = Machine(P)
+        lay = BlockRowLayout(balanced_sizes(m, P))
+        res = tsqr(DistMatrix.from_global(machine, A, lay), 0)
+        x = solve_least_squares(res.V, res.T, res.R, DistMatrix.from_global(machine, b, lay), 0)
+        assert np.allclose(x, np.linalg.lstsq(A, b, rcond=None)[0], atol=1e-9)
+
+    def test_exact_system_zero_residual(self):
+        m, n, P = 64, 4, 4
+        A = gaussian(m, n, seed=12)
+        x_true = gaussian(n, 1, seed=13)
+        b = A @ x_true
+        machine = Machine(P)
+        lay = BlockRowLayout(balanced_sizes(m, P))
+        res = tsqr(DistMatrix.from_global(machine, A, lay), 0)
+        x = solve_least_squares(res.V, res.T, res.R, DistMatrix.from_global(machine, b, lay), 0)
+        assert np.allclose(x, x_true, atol=1e-10)
+
+
+class TestApplyQ3D:
+    @pytest.mark.parametrize("adjoint", [False, True])
+    def test_apply(self, adjoint):
+        m, n, P = 48, 12, 4
+        A = gaussian(m, n, seed=14)
+        C = gaussian(m, 4, seed=15)
+        machine = Machine(P)
+        lay = CyclicRowLayout(m, P)
+        res = qr_3d_caqr_eg(DistMatrix.from_global(machine, A, lay), b=6, bstar=3)
+        dC = DistMatrix.from_global(machine, C, lay)
+        out = apply_q_3d(res.V, res.T, dC, adjoint=adjoint)
+        Q = full_q(res.V.to_global(), res.T.to_global())
+        expect = (Q.conj().T if adjoint else Q) @ C
+        assert np.allclose(out.to_global(), expect, atol=1e-10)
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+class TestWideQR:
+    def test_sequential(self, complex_):
+        A = gaussian(6, 15, seed=16, complex_=complex_)
+        w = qr_wide_sequential(Machine(1), 0, A)
+        Q = full_q(w.V, w.T)
+        assert np.allclose(Q @ w.R, A, atol=1e-11)
+        assert np.allclose(np.triu(w.R[:, :6]), w.R[:, :6])
+        assert np.linalg.norm(Q.conj().T @ Q - np.eye(6)) < 1e-11
+
+    def test_square_degenerate(self, complex_):
+        A = gaussian(8, 8, seed=17, complex_=complex_)
+        w = qr_wide_sequential(Machine(1), 0, A)
+        assert np.allclose(full_q(w.V, w.T) @ w.R, A, atol=1e-11)
+
+    def test_distributed(self, complex_):
+        m, n, P = 12, 30, 4
+        A = gaussian(m, n, seed=18, complex_=complex_)
+        machine = Machine(P)
+        dA = DistMatrix.from_global(machine, A, CyclicRowLayout(m, P))
+        w = qr_wide_3d(dA, b=6, bstar=3)
+        Q = full_q(w.V.to_global(), w.T.to_global())
+        assert np.allclose(Q @ w.R.to_global(), A, atol=1e-10)
+        Rg = w.R.to_global()
+        assert np.allclose(np.triu(Rg[:, :m]), Rg[:, :m])
+
+
+class TestWideQRContracts:
+    def test_sequential_rejects_tall(self):
+        with pytest.raises(ParameterError):
+            qr_wide_sequential(Machine(1), 0, gaussian(10, 4, seed=0))
+
+    def test_distributed_rejects_tall(self):
+        machine = Machine(2)
+        dA = DistMatrix.from_global(machine, gaussian(10, 4, seed=0), CyclicRowLayout(10, 2))
+        with pytest.raises(ParameterError):
+            qr_wide_3d(dA)
+
+
+class TestHybrid:
+    @pytest.mark.parametrize("nb,b", [(4, 2), (8, 3), (16, 16), (5, 1)])
+    def test_factorization(self, nb, b):
+        A = gaussian(40, 24, seed=19)
+        pan = qr_eg_hybrid(Machine(1), 0, A, nb=nb, b=b)
+        assert qr_diagnostics(A, pan.V, pan.T, pan.R).ok(1e-9)
+
+    def test_matches_recursive_r(self):
+        A = gaussian(32, 16, seed=20)
+        hyb = qr_eg_hybrid(Machine(1), 0, A, nb=4, b=2)
+        rec = qr_eg_sequential(Machine(1), 0, A, 2)
+        assert np.allclose(np.abs(hyb.R), np.abs(rec.R), atol=1e-10)
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ParameterError):
+            qr_eg_hybrid(Machine(1), 0, gaussian(8, 4, seed=0), nb=0)
+
+
+class TestRightLooking:
+    def test_never_forms_full_t(self):
+        A = gaussian(40, 24, seed=21)
+        rl = qr_eg_rightlooking(Machine(1), 0, A, nb=8, b=3)
+        # Panels cover the columns; each T is small (w x w).
+        widths = [T.shape[0] for _j, _V, T in rl.panels]
+        assert sum(widths) == 24
+        assert max(widths) <= 8
+
+    def test_apply_adjoint_reduces(self):
+        A = gaussian(40, 24, seed=22)
+        rl = qr_eg_rightlooking(Machine(1), 0, A, nb=8, b=3)
+        out = rl.apply_adjoint(Machine(1), 0, A)
+        assert np.allclose(out[:24], rl.R, atol=1e-10)
+        assert np.allclose(out[24:], 0, atol=1e-10)
+
+    def test_q_unitary_via_apply(self):
+        A = gaussian(30, 12, seed=23)
+        rl = qr_eg_rightlooking(Machine(1), 0, A, nb=4, b=2)
+        Q = rl.apply(Machine(1), 0, np.eye(30))
+        assert np.linalg.norm(Q.conj().T @ Q - np.eye(30)) < 1e-10
+
+    def test_flops_comparable_to_recursive(self):
+        A = gaussian(64, 32, seed=24)
+        m1, m2 = Machine(1), Machine(1)
+        qr_eg_rightlooking(m1, 0, A, nb=8, b=4)
+        qr_eg_sequential(m2, 0, A, 4)
+        # Right-looking skips superdiagonal-T work: never slower.
+        assert m1.report().critical_flops <= 1.3 * m2.report().critical_flops
+
+
+class TestRightLooking1D:
+    def test_r_matches_numpy(self):
+        m, n, P = 128, 16, 4
+        A = gaussian(m, n, seed=25)
+        machine = Machine(P)
+        rl = qr_1d_caqr_eg_rightlooking(dist(machine, A, P), 0, nb=4)
+        _, R_np = np.linalg.qr(A)
+        assert np.allclose(np.abs(rl.R), np.abs(R_np), atol=1e-9)
+
+    def test_panel_count(self):
+        m, n, P = 128, 16, 4
+        machine = Machine(P)
+        rl = qr_1d_caqr_eg_rightlooking(dist(machine, gaussian(m, n, seed=26), P), 0, nb=5)
+        assert len(rl.panels) == 4  # ceil(16/5)
+
+    def test_with_inner_caqr1d(self):
+        m, n, P = 128, 16, 4
+        A = gaussian(m, n, seed=27)
+        machine = Machine(P)
+        rl = qr_1d_caqr_eg_rightlooking(dist(machine, A, P), 0, nb=8, b=2)
+        _, R_np = np.linalg.qr(A)
+        assert np.allclose(np.abs(rl.R), np.abs(R_np), atol=1e-9)
+
+    def test_restricted_parallelism_visible(self):
+        """Section 8.4: the iterative top level serializes panel updates."""
+        from repro.qr import qr_1d_caqr_eg
+
+        m, n, P = 512, 32, 8
+        A = gaussian(m, n, seed=28)
+        m1, m2 = Machine(P), Machine(P)
+        qr_1d_caqr_eg_rightlooking(dist(m1, A, P), 0, nb=4)
+        qr_1d_caqr_eg(dist(m2, A, P), 0, b=4)
+        # More panels on the critical path => at least as many messages.
+        assert m1.report().critical_messages >= m2.report().critical_messages * 0.8
+
+
+class TestCLI:
+    def test_run_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--alg", "tsqr", "--m", "64", "--n", "8", "--P", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tsqr" in out and "cluster" in out
+
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["sweep", "--alg", "caqr1d", "--m", "128", "--n", "8", "--P", "4",
+                   "--knob", "b", "--values", "8,2", "--no-validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep over b" in out
+
+    def test_profiles_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["profiles"]) == 0
+        assert "supercomputer" in capsys.readouterr().out

@@ -1,0 +1,208 @@
+"""Tests for the Householder kernels: larfg, geqrt, T accumulation, WY."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.qr.householder import (
+    apply_wy,
+    explicit_q,
+    larfg,
+    local_geqrt,
+    reconstruct_t,
+    sgn,
+    t_from_v,
+)
+
+
+def random_matrix(rng, m, n, complex_=False):
+    A = rng.standard_normal((m, n))
+    if complex_:
+        A = A + 1j * rng.standard_normal((m, n))
+    return A
+
+
+class TestSgn:
+    def test_positive(self):
+        assert sgn(3.0) == 1.0
+
+    def test_negative(self):
+        assert sgn(-2.0) == -1.0
+
+    def test_zero_is_one(self):
+        assert sgn(0.0) == 1.0
+
+    def test_complex_unit_modulus(self):
+        z = sgn(3 + 4j)
+        assert abs(abs(z) - 1.0) < 1e-15
+        assert np.isclose(z, (3 + 4j) / 5)
+
+
+class TestLarfg:
+    def test_annihilates_real(self, rng):
+        x = rng.standard_normal(7)
+        v, tau, beta = larfg(x)
+        H = np.eye(7) - tau * np.outer(v, v)
+        y = H @ x
+        assert np.isclose(y[0], beta)
+        assert np.allclose(y[1:], 0, atol=1e-13)
+
+    def test_annihilates_complex_hermitian(self, rng):
+        x = rng.standard_normal(5) + 1j * rng.standard_normal(5)
+        v, tau, beta = larfg(x)
+        H = np.eye(5) - tau * np.outer(v, v.conj())
+        assert np.allclose(H, H.conj().T)  # Hermitian reflector
+        y = H @ x
+        assert np.isclose(y[0], beta)
+        assert np.allclose(y[1:], 0, atol=1e-13)
+
+    def test_tau_always_real(self, rng):
+        x = rng.standard_normal(5) + 1j * rng.standard_normal(5)
+        _v, tau, _beta = larfg(x)
+        assert np.imag(tau) == 0
+
+    def test_beta_sign_flipped(self, rng):
+        x = np.array([2.0, 1.0, 1.0])
+        _v, _tau, beta = larfg(x)
+        assert beta < 0  # opposite sign of x[0]
+        assert np.isclose(abs(beta), np.linalg.norm(x))
+
+    def test_v_unit_first_entry(self, rng):
+        v, _tau, _beta = larfg(rng.standard_normal(4))
+        assert v[0] == 1.0
+
+    def test_already_reduced_still_reflects(self):
+        # x[1:] = 0 must give tau != 0 so T stays reconstructable.
+        v, tau, beta = larfg(np.array([3.0, 0.0, 0.0]))
+        assert tau == 2.0
+        assert beta == -3.0
+
+    def test_zero_vector_identity(self):
+        v, tau, beta = larfg(np.zeros(3))
+        assert tau == 0.0
+        assert beta == 0.0
+
+    def test_length_one(self):
+        v, tau, beta = larfg(np.array([-5.0]))
+        assert beta == 5.0  # flips sign
+        assert tau == 2.0
+
+    def test_reflector_unitary(self, rng):
+        x = rng.standard_normal(6) + 1j * rng.standard_normal(6)
+        v, tau, _ = larfg(x)
+        H = np.eye(6) - tau * np.outer(v, v.conj())
+        assert np.allclose(H.conj().T @ H, np.eye(6), atol=1e-13)
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize("m,n", [(1, 1), (5, 3), (8, 8), (20, 4), (64, 16)])
+class TestLocalGeqrt:
+    def test_factorization(self, m, n, complex_, rng):
+        mach = Machine(1)
+        A = random_matrix(rng, m, n, complex_)
+        pan = local_geqrt(mach, 0, A)
+        Q = explicit_q(pan.V, pan.T)
+        assert np.linalg.norm(A - Q @ pan.R) / np.linalg.norm(A) < 1e-13
+
+    def test_orthogonality(self, m, n, complex_, rng):
+        mach = Machine(1)
+        pan = local_geqrt(mach, 0, random_matrix(rng, m, n, complex_))
+        Q = explicit_q(pan.V, pan.T)
+        assert np.linalg.norm(Q.conj().T @ Q - np.eye(n)) < 1e-12
+
+    def test_structure(self, m, n, complex_, rng):
+        mach = Machine(1)
+        pan = local_geqrt(mach, 0, random_matrix(rng, m, n, complex_))
+        assert np.allclose(np.triu(pan.T), pan.T)
+        assert np.allclose(np.triu(pan.R), pan.R)
+        top = pan.V[:n]
+        assert np.allclose(np.tril(top), top)
+        assert np.allclose(np.diag(top), 1.0)
+
+    def test_flops_charged(self, m, n, complex_, rng):
+        mach = Machine(1)
+        local_geqrt(mach, 0, random_matrix(rng, m, n, complex_))
+        flops = mach.report().critical_flops
+        assert flops > 0
+        # within a loose constant of the classical 2mn^2 + T-accumulation
+        assert flops < 20 * (m * n**2 + n**3 + m * n + n)
+
+
+class TestGeqrtValidation:
+    def test_wide_matrix_rejected(self, rng):
+        with pytest.raises(ValueError):
+            local_geqrt(Machine(1), 0, rng.standard_normal((3, 5)))
+
+    def test_matches_numpy_r_up_to_signs(self, rng):
+        A = rng.standard_normal((12, 5))
+        pan = local_geqrt(Machine(1), 0, A)
+        _, R_np = np.linalg.qr(A)
+        assert np.allclose(np.abs(pan.R), np.abs(R_np), atol=1e-10)
+
+
+class TestTAccumulation:
+    def test_t_from_v_matches_product_of_reflectors(self, rng):
+        mach = Machine(1)
+        m, n = 10, 4
+        A = rng.standard_normal((m, n))
+        pan = local_geqrt(mach, 0, A)
+        # Rebuild Q as an explicit product of reflectors.
+        Q = np.eye(m)
+        for j in range(n):
+            v = pan.V[:, j]
+            tau = pan.T[j, j]  # diagonal of T is tau
+            Q = Q @ (np.eye(m) - tau * np.outer(v, v.conj()))
+        assert np.allclose(Q[:, :n], explicit_q(pan.V, pan.T), atol=1e-12)
+
+    def test_reconstruct_t_equals_accumulated(self, rng):
+        mach = Machine(1)
+        for complex_ in (False, True):
+            pan = local_geqrt(mach, 0, random_matrix(rng, 15, 6, complex_))
+            T2 = reconstruct_t(mach, 0, pan.V)
+            assert np.allclose(T2, pan.T, atol=1e-9)
+
+    def test_puglisi_identity(self, rng):
+        """T^{-1} + T^{-H} = V^H V characterizes the kernel."""
+        mach = Machine(1)
+        pan = local_geqrt(mach, 0, rng.standard_normal((12, 5)))
+        Tinv = np.linalg.inv(pan.T)
+        G = pan.V.conj().T @ pan.V
+        assert np.allclose(Tinv + Tinv.conj().T, G, atol=1e-10)
+
+    def test_t_from_v_zero_tau_skipped(self):
+        mach = Machine(1)
+        V = np.eye(4, 2)
+        T = t_from_v(mach, 0, V, np.zeros(2))
+        assert np.allclose(T, 0)
+
+
+class TestApplyWY:
+    def test_forward_then_adjoint_is_identity(self, rng):
+        mach = Machine(1)
+        pan = local_geqrt(mach, 0, rng.standard_normal((9, 4)))
+        C = rng.standard_normal((9, 3))
+        out = apply_wy(mach, 0, pan.V, pan.T, apply_wy(mach, 0, pan.V, pan.T, C), adjoint=True)
+        assert np.allclose(out, C, atol=1e-12)
+
+    def test_adjoint_reduces_to_r(self, rng):
+        mach = Machine(1)
+        A = rng.standard_normal((10, 4))
+        pan = local_geqrt(mach, 0, A)
+        out = apply_wy(mach, 0, pan.V, pan.T, A, adjoint=True)
+        assert np.allclose(out[:4], pan.R, atol=1e-12)
+        assert np.allclose(out[4:], 0, atol=1e-12)
+
+    def test_charges_flops(self, rng):
+        mach = Machine(1)
+        pan = local_geqrt(mach, 0, rng.standard_normal((6, 2)))
+        before = mach.report().critical_flops
+        apply_wy(mach, 0, pan.V, pan.T, rng.standard_normal((6, 5)))
+        assert mach.report().critical_flops > before
+
+
+class TestExplicitQ:
+    def test_leading_columns_orthonormal(self, rng):
+        pan = local_geqrt(Machine(1), 0, rng.standard_normal((14, 5)))
+        Q = explicit_q(pan.V, pan.T, 3)
+        assert Q.shape == (14, 3)
+        assert np.allclose(Q.conj().T @ Q, np.eye(3), atol=1e-12)

@@ -1,0 +1,243 @@
+"""Unit tests for the machine substrate: cost model, clocks, transfers."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    MACHINE_PROFILES,
+    ClockSet,
+    CostParams,
+    Machine,
+    MachineError,
+    Meta,
+    transfer_list,
+    words_of,
+)
+from tests.conftest import assert_clocks_match_trace
+
+
+class TestCostParams:
+    def test_defaults_are_unit(self):
+        p = CostParams()
+        assert (p.alpha, p.beta, p.gamma) == (1.0, 1.0, 1.0)
+
+    def test_time_combines_linearly(self):
+        p = CostParams(alpha=2.0, beta=3.0, gamma=5.0)
+        assert p.time(flops=1, words=1, messages=1) == 10.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostParams(alpha=-1.0)
+
+    def test_profiles_exist(self):
+        for name in ("cluster", "supercomputer", "cloud"):
+            assert name in MACHINE_PROFILES
+
+    def test_profiles_latency_dominates_bandwidth_per_word(self):
+        for prof in MACHINE_PROFILES.values():
+            assert prof.alpha >= prof.beta
+
+
+class TestWordsOf:
+    def test_array(self):
+        assert words_of(np.zeros((3, 4))) == 12
+
+    def test_scalar(self):
+        assert words_of(3.14) == 1
+        assert words_of(7) == 1
+        assert words_of(1 + 2j) == 1
+
+    def test_none_free(self):
+        assert words_of(None) == 0
+
+    def test_meta_free(self):
+        assert words_of(Meta({"huge": list(range(100))})) == 0
+
+    def test_nested(self):
+        payload = [np.zeros(5), (np.zeros(2), 1.0), Meta("tag"), None]
+        assert words_of(payload) == 8
+
+    def test_dict(self):
+        assert words_of({"a": np.zeros(3), "b": 1.5}) == 4
+
+    def test_rejects_strings(self):
+        with pytest.raises(MachineError):
+            words_of("not a payload")
+
+
+class TestClockSet:
+    def test_local_compute_accumulates(self):
+        c = ClockSet(2, 1, 1, 1)
+        c.local_compute(0, 5)
+        c.local_compute(0, 3)
+        assert c.critical("flops") == 8
+        assert c.per_processor("flops")[1] == 0
+
+    def test_send_recv_critical_path(self):
+        c = ClockSet(2, 1, 1, 1)
+        c.local_compute(0, 10)
+        snap = c.send(0, 4)
+        c.recv(1, 4, snap)
+        # Receiver's flop path includes the sender's history.
+        assert c.per_processor("flops")[1] == 10
+        assert c.per_processor("words")[1] == 8  # send + recv both count
+        assert c.per_processor("messages")[1] == 2
+
+    def test_recv_takes_max_of_paths(self):
+        c = ClockSet(2, 1, 1, 1)
+        c.local_compute(1, 100)
+        snap = c.send(0, 1)
+        c.recv(1, 1, snap)
+        assert c.per_processor("flops")[1] == 100  # own path dominates
+
+    def test_time_metric_weights(self):
+        c = ClockSet(1, alpha=10.0, beta=2.0, gamma=0.5)
+        c.local_compute(0, 4)
+        assert c.critical("time") == 2.0
+
+    def test_unknown_metric_raises(self):
+        c = ClockSet(1, 1, 1, 1)
+        with pytest.raises(KeyError):
+            c.critical("bogus")
+
+    def test_barrier_joins(self):
+        c = ClockSet(3, 1, 1, 1)
+        c.local_compute(2, 7)
+        c.barrier()
+        assert all(c.per_processor("flops") == 7)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            ClockSet(0, 1, 1, 1)
+
+
+class TestMachine:
+    def test_compute_charges(self):
+        m = Machine(2)
+        m.compute(0, 42)
+        rep = m.report()
+        assert rep.critical_flops == 42
+        assert rep.total_flops == 42
+
+    def test_zero_flops_free(self):
+        m = Machine(1)
+        m.compute(0, 0)
+        assert m.report().critical_flops == 0
+
+    def test_negative_flops_rejected(self):
+        m = Machine(1)
+        with pytest.raises(MachineError):
+            m.compute(0, -1)
+
+    def test_bad_rank_rejected(self):
+        m = Machine(2)
+        with pytest.raises(MachineError):
+            m.compute(2, 1)
+        with pytest.raises(MachineError):
+            m.transfer(0, 5, np.zeros(1))
+
+    def test_transfer_returns_payload(self):
+        m = Machine(2)
+        x = np.arange(3.0)
+        y = m.transfer(0, 1, x)
+        assert y is x
+
+    def test_self_transfer_free(self):
+        m = Machine(2)
+        m.transfer(1, 1, np.zeros(100))
+        rep = m.report()
+        assert rep.critical_words == 0
+        assert rep.critical_messages == 0
+
+    def test_transfer_charges_both_endpoints(self):
+        m = Machine(2)
+        m.transfer(0, 1, np.zeros(10))
+        rep = m.report()
+        # Receiver path: send(10 words) then recv(10 words) = 20.
+        assert rep.critical_words == 20
+        assert rep.critical_messages == 2
+        assert rep.total_words_sent == 10
+        assert rep.total_messages_sent == 1
+
+    def test_happens_before_across_transfer(self):
+        m = Machine(3)
+        m.compute(0, 50)
+        m.transfer(0, 1, np.zeros(1))
+        m.transfer(1, 2, np.zeros(1))
+        assert m.clocks.per_processor("flops")[2] == 50
+
+    def test_flops_gemm_convention(self):
+        assert Machine.flops_gemm(2, 3, 4) == 2 * 3 * 7
+        assert Machine.flops_gemm(0, 3, 4) == 0
+
+    def test_reset_zeroes_everything(self):
+        m = Machine(2)
+        m.compute(0, 5)
+        m.transfer(0, 1, np.zeros(4))
+        m.reset()
+        rep = m.report()
+        assert rep.critical_flops == 0
+        assert rep.critical_words == 0
+        assert rep.total_messages_sent == 0
+
+    def test_report_time_under_other_params(self):
+        m = Machine(2)
+        m.compute(0, 100)
+        rep = m.report()
+        cheap_flops = CostParams(alpha=1, beta=1, gamma=0)
+        assert rep.time_under(cheap_flops) == 0.0
+
+    def test_modeled_time_unit_machine(self):
+        m = Machine(2)
+        m.compute(0, 3)
+        m.transfer(0, 1, np.zeros(2))
+        # Receiver path: 3 flops + (1+2) send + (1+2) recv = 9.
+        assert m.report().modeled_time == pytest.approx(9.0)
+
+    def test_transfer_list_coalesces(self):
+        m = Machine(2)
+        transfer_list(m, 0, 1, [np.zeros(3), np.zeros(4)])
+        rep = m.report()
+        assert rep.total_messages_sent == 1
+        assert rep.total_words_sent == 7
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(MachineError):
+            Machine(0)
+
+
+class TestTraceDag:
+    def test_clocks_match_offline_longest_path(self):
+        m = Machine(4, trace=True)
+        rng = np.random.default_rng(0)
+        # A random but legal communication pattern.
+        for step in range(30):
+            src, dst = rng.integers(0, 4, size=2)
+            m.compute(int(src), float(rng.integers(1, 10)))
+            if src != dst:
+                m.transfer(int(src), int(dst), np.zeros(int(rng.integers(1, 6))))
+        assert_clocks_match_trace(m)
+
+    def test_trace_records_kinds(self):
+        m = Machine(2, trace=True)
+        m.compute(0, 1)
+        m.transfer(0, 1, np.zeros(1))
+        kinds = [e.kind for e in m.trace]
+        assert kinds == ["compute", "send", "recv"]
+
+    def test_trace_matching(self):
+        m = Machine(2, trace=True)
+        m.transfer(0, 1, np.zeros(1))
+        send, recv = m.trace.events
+        assert recv.match == send.index
+
+    def test_trace_cap(self):
+        from repro.machine import Trace
+
+        t = Trace(max_events=2)
+        assert t.append("compute", 0) == 0
+        assert t.append("compute", 0) == 1
+        assert t.append("compute", 0) == -1
+        assert t.truncated
+        with pytest.raises(RuntimeError):
+            t.to_dag()

@@ -1,0 +1,126 @@
+"""Second round of property-based tests: the full algorithm stack.
+
+Random shapes, thresholds, and processor counts through 3d-caqr-eg,
+the wide reduction, the iterative variants, and apply-Q roundtrips --
+the invariants that must hold for *every* legal input, not just the
+curated cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
+from repro.machine import Machine
+from repro.qr import (
+    apply_q_1d,
+    qr_3d_caqr_eg,
+    qr_eg_hybrid,
+    qr_eg_rightlooking,
+    qr_wide_sequential,
+    tsqr,
+)
+from repro.qr.validate import validate_result
+from repro.util import balanced_sizes
+from repro.workloads import gaussian
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+class TestCAQR3DProperties:
+    @given(
+        n=st.integers(2, 20),
+        aspect=st.integers(1, 4),
+        P=st.integers(1, 6),
+        bdiv=st.integers(1, 4),
+        seed=st.integers(0, 999),
+    )
+    @SETTINGS
+    def test_factorization_invariants(self, n, aspect, P, bdiv, seed):
+        m = n * aspect
+        A = gaussian(m, n, seed=seed)
+        machine = Machine(P)
+        dA = DistMatrix.from_global(machine, A, CyclicRowLayout(m, P))
+        b = max(1, n // bdiv)
+        res = qr_3d_caqr_eg(dA, b=b, bstar=max(1, b // 2))
+        assert validate_result(A, res).ok(1e-8)
+
+    @given(n=st.integers(2, 16), P=st.integers(1, 4), seed=st.integers(0, 99))
+    @SETTINGS
+    def test_policy_defaults_always_valid(self, n, P, seed):
+        A = gaussian(2 * n, n, seed=seed)
+        machine = Machine(P)
+        dA = DistMatrix.from_global(machine, A, CyclicRowLayout(2 * n, P))
+        res = qr_3d_caqr_eg(dA)  # default delta/eps policies
+        assert 1 <= res.bstar <= res.b <= n
+        assert validate_result(A, res).ok(1e-8)
+
+
+class TestWideProperties:
+    @given(m=st.integers(1, 12), extra=st.integers(0, 20), seed=st.integers(0, 999))
+    @SETTINGS
+    def test_wide_sequential(self, m, extra, seed):
+        A = gaussian(m, m + extra, seed=seed)
+        w = qr_wide_sequential(Machine(1), 0, A)
+        Q = np.eye(m) - w.V @ w.T @ w.V.conj().T
+        assert np.allclose(Q @ w.R, A, atol=1e-9)
+        assert np.allclose(np.triu(w.R[:, :m]), w.R[:, :m], atol=1e-12)
+
+
+class TestIterativeProperties:
+    @given(
+        n=st.integers(2, 20),
+        nb=st.integers(1, 10),
+        b=st.integers(1, 8),
+        seed=st.integers(0, 999),
+    )
+    @SETTINGS
+    def test_hybrid_invariants(self, n, nb, b, seed):
+        from repro.qr.validate import qr_diagnostics
+
+        A = gaussian(2 * n, n, seed=seed)
+        pan = qr_eg_hybrid(Machine(1), 0, A, nb=nb, b=b)
+        assert qr_diagnostics(A, pan.V, pan.T, pan.R).ok(1e-8)
+
+    @given(n=st.integers(2, 16), nb=st.integers(1, 8), seed=st.integers(0, 999))
+    @SETTINGS
+    def test_rightlooking_r_matches_numpy(self, n, nb, seed):
+        A = gaussian(2 * n + 3, n, seed=seed)
+        rl = qr_eg_rightlooking(Machine(1), 0, A, nb=nb, b=max(1, nb // 2))
+        _, R_np = np.linalg.qr(A)
+        assert np.allclose(np.abs(rl.R), np.abs(R_np), atol=1e-8)
+
+
+class TestApplyQProperties:
+    @given(
+        P=st.integers(1, 5),
+        n=st.integers(1, 8),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 999),
+    )
+    @SETTINGS
+    def test_apply_roundtrip(self, P, n, k, seed):
+        m = 4 * n * max(P, 1)
+        A = gaussian(m, n, seed=seed)
+        C = gaussian(m, k, seed=seed + 1)
+        machine = Machine(P)
+        lay = BlockRowLayout(balanced_sizes(m, P))
+        res = tsqr(DistMatrix.from_global(machine, A, lay), 0)
+        dC = DistMatrix.from_global(machine, C, lay)
+        out = apply_q_1d(res.V, res.T, apply_q_1d(res.V, res.T, dC, 0, adjoint=True), 0)
+        assert np.allclose(out.to_global(), C, atol=1e-9)
+
+    @given(P=st.integers(1, 5), n=st.integers(1, 8), seed=st.integers(0, 999))
+    @SETTINGS
+    def test_apply_preserves_norms(self, P, n, seed):
+        """Unitary application: column norms are invariant."""
+        m = 4 * n * max(P, 1)
+        A = gaussian(m, n, seed=seed)
+        C = gaussian(m, 3, seed=seed + 2)
+        machine = Machine(P)
+        lay = BlockRowLayout(balanced_sizes(m, P))
+        res = tsqr(DistMatrix.from_global(machine, A, lay), 0)
+        out = apply_q_1d(res.V, res.T, DistMatrix.from_global(machine, C, lay), 0)
+        norms_in = np.linalg.norm(C, axis=0)
+        norms_out = np.linalg.norm(out.to_global(), axis=0)
+        assert np.allclose(norms_in, norms_out, rtol=1e-9)

@@ -1,0 +1,107 @@
+"""Tests for the sequential qr-eg reference and the parameter policies."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, ParameterError
+from repro.qr import qr_eg_sequential
+from repro.qr.params import (
+    choose_b_1d,
+    choose_b_3d,
+    choose_bstar,
+    log2p,
+    recursion_depth,
+    tall_skinny_feasible,
+    theorem1_constraint_ok,
+    theorem2_constraint_ok,
+)
+from repro.qr.validate import qr_diagnostics
+from repro.workloads import gaussian
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize("m,n,b", [(10, 10, 2), (30, 7, 1), (64, 16, 4), (17, 5, 8), (12, 3, 3)])
+class TestQrEgSequential:
+    def test_factorization(self, m, n, b, complex_):
+        A = gaussian(m, n, seed=m * b, complex_=complex_)
+        pan = qr_eg_sequential(Machine(1), 0, A, b)
+        assert qr_diagnostics(A, pan.V, pan.T, pan.R).ok(1e-10)
+
+    def test_agrees_with_geqrt_r(self, m, n, b, complex_):
+        from repro.qr import local_geqrt
+
+        A = gaussian(m, n, seed=2, complex_=complex_)
+        pan_eg = qr_eg_sequential(Machine(1), 0, A, b)
+        pan_direct = local_geqrt(Machine(1), 0, A)
+        assert np.allclose(np.abs(pan_eg.R), np.abs(pan_direct.R), atol=1e-9)
+
+
+class TestQrEgValidation:
+    def test_wide_rejected(self):
+        with pytest.raises(ParameterError):
+            qr_eg_sequential(Machine(1), 0, gaussian(3, 5, seed=0), 2)
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ParameterError):
+            qr_eg_sequential(Machine(1), 0, gaussian(5, 3, seed=0), 0)
+
+    def test_flops_independent_of_b_shape(self):
+        """Recursion reorganizes, it does not add asymptotic work."""
+        A = gaussian(64, 32, seed=1)
+        fl = []
+        for b in (1, 4, 32):
+            mach = Machine(1)
+            qr_eg_sequential(mach, 0, A, b)
+            fl.append(mach.report().critical_flops)
+        assert max(fl) / min(fl) < 3.0
+
+
+class TestParams:
+    def test_log2p_floor(self):
+        assert log2p(1) == 1.0
+        assert log2p(2) == 1.0
+        assert log2p(1024) == 10.0
+
+    def test_choose_b_1d_monotone_in_eps(self):
+        bs = [choose_b_1d(64, 16, eps) for eps in (0.0, 0.5, 1.0)]
+        assert bs[0] >= bs[1] >= bs[2]
+        assert bs[0] == 64
+
+    def test_choose_b_1d_p1(self):
+        assert choose_b_1d(10, 1, 1.0) == 10
+
+    def test_choose_b_1d_rejects_bad_n(self):
+        with pytest.raises(ParameterError):
+            choose_b_1d(0, 4)
+
+    def test_choose_b_3d_monotone_in_delta(self):
+        bs = [choose_b_3d(256, 256, 64, d) for d in (0.0, 0.5, 2 / 3)]
+        assert bs[0] >= bs[1] >= bs[2]
+
+    def test_choose_b_3d_rejects_wide(self):
+        with pytest.raises(ParameterError):
+            choose_b_3d(4, 8, 2)
+
+    def test_choose_bstar_bounds(self):
+        assert 1 <= choose_bstar(7, 64) <= 7
+
+    def test_choose_bstar_rejects_bad_b(self):
+        with pytest.raises(ParameterError):
+            choose_bstar(0, 4)
+
+    def test_theorem2_constraint(self):
+        assert theorem2_constraint_ok(100, 16)
+        assert not theorem2_constraint_ok(3, 1024)
+
+    def test_theorem1_constraint_needs_enough_parallelism(self):
+        # Very tall with tiny P violates the Omega(m/n) side.
+        assert not theorem1_constraint_ok(10_000_000, 10, 2)
+
+    def test_tall_skinny_feasible(self):
+        assert tall_skinny_feasible(64, 4, 16)
+        assert not tall_skinny_feasible(63, 4, 16)
+
+    def test_recursion_depth(self):
+        assert recursion_depth(16, 16) == 0
+        assert recursion_depth(16, 4) == 2
+        assert recursion_depth(17, 4) == 3

@@ -1,0 +1,158 @@
+"""Tests for TSQR: correctness, structure, distribution contract, costs."""
+
+import numpy as np
+import pytest
+
+from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
+from repro.machine import DistributionError, Machine
+from repro.qr.tsqr import pack_triu, tsqr, unpack_triu
+from repro.qr.validate import qr_diagnostics
+from repro.util import balanced_sizes, ilog2
+from repro.workloads import gaussian, graded, near_rank_deficient
+
+
+def dist(machine, A, P):
+    return DistMatrix.from_global(machine, A, BlockRowLayout(balanced_sizes(A.shape[0], P)))
+
+
+class TestPackTriu:
+    def test_roundtrip(self, rng):
+        R = np.triu(rng.standard_normal((5, 5)))
+        assert np.allclose(unpack_triu(pack_triu(R), 5), R)
+
+    def test_size(self):
+        assert pack_triu(np.triu(np.ones((6, 6)))).size == 21
+
+
+@pytest.mark.parametrize("complex_", [False, True])
+@pytest.mark.parametrize("m,n,P", [(8, 2, 1), (16, 4, 2), (40, 5, 5), (64, 8, 7), (96, 12, 8)])
+class TestTSQRCorrectness:
+    def test_factorization(self, m, n, P, complex_):
+        A = gaussian(m, n, seed=m * P, complex_=complex_)
+        machine = Machine(P)
+        res = tsqr(dist(machine, A, P), root=0)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.ok(1e-10), d
+
+    def test_v_distribution_matches_input(self, m, n, P, complex_):
+        A = gaussian(m, n, seed=1, complex_=complex_)
+        machine = Machine(P)
+        dA = dist(machine, A, P)
+        res = tsqr(dA, root=0)
+        assert res.V.layout.same_as(dA.layout)
+
+    def test_r_matches_numpy_up_to_phase(self, m, n, P, complex_):
+        A = gaussian(m, n, seed=2, complex_=complex_)
+        machine = Machine(P)
+        res = tsqr(dist(machine, A, P), root=0)
+        _, R_np = np.linalg.qr(A)
+        assert np.allclose(np.abs(res.R), np.abs(R_np), atol=1e-9)
+
+
+class TestTSQRHardMatrices:
+    def test_graded_matrix(self):
+        A = graded(80, 10, cond=1e12, seed=3)
+        machine = Machine(4)
+        res = tsqr(dist(machine, A, 4), root=0)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        # Residual is relative; orthogonality must hold regardless of cond.
+        assert d.orthogonality < 1e-10
+        assert d.residual < 1e-10
+
+    def test_near_rank_deficient(self):
+        A = near_rank_deficient(64, 8, rank=4, seed=4)
+        machine = Machine(4)
+        res = tsqr(dist(machine, A, 4), root=0)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.orthogonality < 1e-9
+        assert d.residual < 1e-9
+
+    def test_orthonormal_input(self):
+        """W with orthonormal columns: the reconstruction's own domain."""
+        A = np.linalg.qr(gaussian(60, 6, seed=5))[0]
+        machine = Machine(3)
+        res = tsqr(dist(machine, A, 3), root=0)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.ok(1e-10)
+        # R of an orthonormal matrix is (unit-modulus) diagonal.
+        off = res.R - np.diag(np.diag(res.R))
+        assert np.linalg.norm(off) < 1e-10
+        assert np.allclose(np.abs(np.diag(res.R)), 1.0, atol=1e-10)
+
+
+class TestTSQRDistributionContract:
+    def test_requires_enough_rows_per_proc(self):
+        machine = Machine(4)
+        A = gaussian(10, 4, seed=0)  # 10 rows over 4 procs: some get 2 < n
+        dA = dist(machine, A, 4)
+        with pytest.raises(DistributionError):
+            tsqr(dA, root=0)
+
+    def test_requires_root_owns_leading_rows(self):
+        machine = Machine(2)
+        A = gaussian(16, 4, seed=0)
+        dA = DistMatrix.from_global(machine, A, CyclicRowLayout(16, 2))
+        with pytest.raises(DistributionError):
+            tsqr(dA, root=0)  # cyclic: root does not own rows 0..3
+
+    def test_root_must_participate(self):
+        machine = Machine(3)
+        A = gaussian(16, 4, seed=0)
+        dA = DistMatrix.from_global(machine, A, BlockRowLayout([8, 8], ranks=[0, 1]))
+        with pytest.raises(DistributionError):
+            tsqr(dA, root=2)
+
+    def test_noncontiguous_rows_allowed(self):
+        """The paper: rows 'not necessarily contiguous'."""
+        from repro.dist import ExplicitRowLayout
+
+        machine = Machine(2)
+        A = gaussian(12, 3, seed=6)
+        # Root owns rows 0,1,2 (leading n) plus 7..11; rank 1 owns 3..6.
+        owners = np.array([0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0])
+        dA = DistMatrix.from_global(machine, A, ExplicitRowLayout(owners))
+        res = tsqr(dA, root=0)
+        d = qr_diagnostics(A, res.V.to_global(), res.T, res.R)
+        assert d.ok(1e-10)
+
+
+class TestTSQRCosts:
+    """Lemma 5's shape: n^2 log P words, log P messages."""
+
+    def test_message_count_logarithmic(self):
+        msgs = []
+        for P in (2, 8, 32):
+            A = gaussian(32 * P, 8, seed=7)
+            machine = Machine(P)
+            tsqr(dist(machine, A, P), root=0)
+            msgs.append(machine.report().critical_messages)
+        # 2 -> 32 procs: log factor 5x, far below linear 16x.
+        assert msgs[2] <= msgs[0] * ilog2(32) * 2.0
+        assert msgs[2] < 32
+
+    def test_words_track_n2_logp(self):
+        for P in (2, 4, 16):
+            n = 8
+            A = gaussian(16 * P, n, seed=8)
+            machine = Machine(P)
+            tsqr(dist(machine, A, P), root=0)
+            w = machine.report().critical_words
+            bound = n * n * max(ilog2(P), 1)
+            assert w <= 6.0 * bound, (P, w, bound)
+
+    def test_flops_scale_down_with_p(self):
+        m, n = 512, 4
+        f = []
+        for P in (1, 4, 16):
+            machine = Machine(P)
+            tsqr(dist(machine, gaussian(m, n, seed=9), P), root=0)
+            f.append(machine.report().critical_flops)
+        assert f[1] < f[0]
+        assert f[2] < f[1]
+
+    def test_single_proc_no_comm(self):
+        machine = Machine(1)
+        tsqr(dist(machine, gaussian(32, 4, seed=10), 1), root=0)
+        rep = machine.report()
+        assert rep.critical_words == 0
+        assert rep.critical_messages == 0

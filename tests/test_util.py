@@ -1,0 +1,131 @@
+"""Unit tests for repro.util.partition."""
+
+import pytest
+
+from repro.util import (
+    balanced_partition,
+    balanced_sizes,
+    ceil_div,
+    cyclic_deal,
+    ilog2,
+    is_power_of_two,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 1) == 1
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+
+    def test_rejects_negative_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, -1)
+
+
+class TestIlog2:
+    def test_one(self):
+        assert ilog2(1) == 0
+
+    def test_powers(self):
+        assert ilog2(2) == 1
+        assert ilog2(8) == 3
+        assert ilog2(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert ilog2(3) == 2
+        assert ilog2(5) == 3
+        assert ilog2(1000) == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(10):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, 3, 5, 6, 7, 9, 12, 1023):
+            assert not is_power_of_two(n)
+
+    def test_negative(self):
+        assert not is_power_of_two(-4)
+
+
+class TestBalancedSizes:
+    def test_even_split(self):
+        assert balanced_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_first(self):
+        assert balanced_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_more_parts_than_items(self):
+        assert balanced_sizes(2, 5) == [1, 1, 0, 0, 0]
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n in range(20):
+            for k in range(1, 8):
+                sizes = balanced_sizes(n, k)
+                assert sum(sizes) == n
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_items(self):
+        assert balanced_sizes(0, 3) == [0, 0, 0]
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            balanced_sizes(5, 0)
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(ValueError):
+            balanced_sizes(-1, 2)
+
+
+class TestBalancedPartition:
+    def test_covers_range_disjointly(self):
+        parts = balanced_partition(10, 3)
+        seen = []
+        for p in parts:
+            seen.extend(p)
+        assert seen == list(range(10))
+
+    def test_contiguous(self):
+        parts = balanced_partition(10, 3)
+        for p in parts:
+            assert list(p) == list(range(p.start, p.stop))
+
+    def test_part_count(self):
+        assert len(balanced_partition(7, 4)) == 4
+
+
+class TestCyclicDeal:
+    def test_round_robin(self):
+        bins = cyclic_deal(6, 3)
+        assert bins == [[0, 3], [1, 4], [2, 5]]
+
+    def test_start_offset(self):
+        bins = cyclic_deal(4, 3, start=2)
+        assert bins == [[1], [2], [0, 3]]
+
+    def test_all_items_dealt(self):
+        bins = cyclic_deal(17, 5, start=3)
+        flat = sorted(x for b in bins for x in b)
+        assert flat == list(range(17))
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            cyclic_deal(4, 0)
