@@ -1,4 +1,4 @@
-"""Legacy setup shim so `pip install -e .` works without the wheel package."""
+"""Legacy setup shim; all metadata lives in pyproject.toml."""
 
 from setuptools import setup
 

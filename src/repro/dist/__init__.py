@@ -1,0 +1,37 @@
+"""Distributed-matrix containers: layouts, DistMatrix, redistribution.
+
+The data-distribution layer beneath every algorithm in the library
+(paper Sections 5-8).  Row layouts say which processor owns which
+global row; :class:`DistMatrix` stores one local block per owner and
+enforces the owner-computes discipline; :func:`redistribute_rows` moves
+rows between layouts through the metered all-to-all collectives; and
+:mod:`repro.dist.blockcyclic` provides the 2D block-cyclic layout the
+Section 8.1 baselines compare against.
+
+Construction and harness-side conversion (``from_global`` /
+``to_global``) are free by the library's cost conventions; everything
+that moves data between processors flows through
+:class:`~repro.machine.Machine` and is accounted on the critical path.
+"""
+
+from repro.dist.distmatrix import DistMatrix
+from repro.dist.layouts import (
+    BlockRowLayout,
+    CyclicRowLayout,
+    ExplicitRowLayout,
+    RowLayout,
+    head_layout,
+    tail_layout,
+)
+from repro.dist.redistribute import redistribute_rows
+
+__all__ = [
+    "BlockRowLayout",
+    "CyclicRowLayout",
+    "DistMatrix",
+    "ExplicitRowLayout",
+    "RowLayout",
+    "head_layout",
+    "redistribute_rows",
+    "tail_layout",
+]

@@ -1,0 +1,238 @@
+"""2D block-cyclic matrix distribution for the Section 8.1 baselines.
+
+The ScaLAPACK-style layout the paper's 2D comparisons (d-house-2d,
+caqr-2d) run on: processors form a ``pr x pc`` grid, the matrix is cut
+into ``bb x bb`` tiles, and tile ``(I, J)`` lives on grid processor
+``(I mod pr, J mod pc)``.  Equivalently, global row ``i`` belongs to
+grid row ``(i // bb) mod pr`` and global column ``j`` to grid column
+``(j // bb) mod pc``; processor ``(i, j)`` stores its rows-by-columns
+intersection as one dense local block.
+
+Like the row layouts, constructing and globalizing a
+:class:`BlockCyclic2D` is harness-side and free; the 2D algorithms do
+their own metered communication (row broadcasts, column reductions,
+panel gathers) through the machine.
+
+:func:`choose_grid_2d` picks the Section 8.1 grid
+``pc = Theta((nP/m)^(1/2))``: square matrices get square-ish grids,
+tall-skinny ones degenerate toward 1D processor columns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.machine import Machine
+from repro.machine.exceptions import DistributionError
+
+__all__ = ["BlockCyclic2D", "choose_grid_2d"]
+
+
+def choose_grid_2d(m: int, n: int, P: int) -> tuple[int, int]:
+    """Section 8.1 grid for an ``m x n`` matrix on ``P`` processors.
+
+    Picks ``pc`` nearest ``(nP/m)^(1/2)`` (clamped to ``[1, min(n, P)]``)
+    and ``pr = P // pc``, so ``pr * pc <= P``.  Square matrices get a
+    square-ish grid; very tall ones an almost-1D grid (``pc -> 1``),
+    recovering the 1D distribution tsqr wants.
+    """
+    if m < 1 or n < 1:
+        raise DistributionError(f"choose_grid_2d requires m, n >= 1, got ({m}, {n})")
+    if P < 1:
+        raise DistributionError(f"choose_grid_2d requires P >= 1, got P={P}")
+    pc = int(round(math.sqrt(n * P / m)))
+    pc = max(1, min(pc, n, P))
+    pr = max(1, min(m, P // pc))
+    return pr, pc
+
+
+class BlockCyclic2D:
+    """An ``m x n`` matrix block-cyclically distributed on a ``pr x pc`` grid.
+
+    Parameters
+    ----------
+    machine:
+        Simulated machine; needs at least ``pr * pc`` processors.
+    m, n:
+        Global matrix shape.
+    pr, pc:
+        Processor grid shape.
+    bb:
+        Distribution block (tile) size, both dimensions.
+    blocks:
+        Optional ``{(i, j): ndarray}`` local storage, one
+        ``rows_of(i).size x cols_of(j).size`` block per grid processor;
+        zero-initialized when omitted.
+    dtype:
+        Element type (defaults to the blocks' common type, or float64).
+    ranks:
+        Machine rank of each grid processor in row-major order
+        (``rank(i, j) = ranks[i * pc + j]``); defaults to ``0..pr*pc-1``.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        m: int,
+        n: int,
+        pr: int,
+        pc: int,
+        bb: int,
+        blocks: Mapping[tuple[int, int], np.ndarray] | None = None,
+        dtype: np.dtype | type | str | None = None,
+        ranks: Sequence[int] | None = None,
+    ) -> None:
+        if pr < 1 or pc < 1:
+            raise DistributionError(f"grid shape must be positive, got ({pr}, {pc})")
+        if bb < 1:
+            raise DistributionError(f"block size must be >= 1, got bb={bb}")
+        if m < 0 or n < 0:
+            raise DistributionError(f"matrix shape must be nonnegative, got ({m}, {n})")
+        if pr * pc > machine.P:
+            raise DistributionError(
+                f"grid {pr} x {pc} needs {pr * pc} processors, machine has {machine.P}"
+            )
+        if ranks is None:
+            ranks = range(pr * pc)
+        ranks = [int(r) for r in ranks]
+        if len(ranks) != pr * pc:
+            raise DistributionError(
+                f"grid {pr} x {pc} needs {pr * pc} ranks, got {len(ranks)}"
+            )
+        self.machine = machine
+        self.m, self.n = int(m), int(n)
+        self.pr, self.pc, self.bb = int(pr), int(pc), int(bb)
+        self.ranks = ranks
+        self._rows = [
+            np.flatnonzero((np.arange(self.m) // bb) % pr == i) for i in range(pr)
+        ]
+        self._cols = [
+            np.flatnonzero((np.arange(self.n) // bb) % pc == j) for j in range(pc)
+        ]
+
+        if dtype is not None:
+            self.dtype = np.dtype(dtype)
+        elif blocks:
+            self.dtype = np.result_type(*blocks.values())
+        else:
+            self.dtype = np.dtype(np.float64)
+
+        if blocks is None:
+            self.blocks = {
+                (i, j): np.zeros(
+                    (self._rows[i].size, self._cols[j].size), dtype=self.dtype
+                )
+                for i in range(pr)
+                for j in range(pc)
+            }
+        else:
+            checked: dict[tuple[int, int], np.ndarray] = {}
+            for i in range(pr):
+                for j in range(pc):
+                    if (i, j) not in blocks:
+                        raise DistributionError(f"missing local block for grid ({i}, {j})")
+                    blk = np.asarray(blocks[(i, j)])
+                    expect = (self._rows[i].size, self._cols[j].size)
+                    if blk.shape != expect:
+                        raise DistributionError(
+                            f"grid ({i}, {j}) block has shape {blk.shape}, "
+                            f"layout requires {expect}"
+                        )
+                    checked[(i, j)] = blk
+            self.blocks = checked
+
+    # ------------------------------------------------------------------
+    # Grid geometry
+    # ------------------------------------------------------------------
+    def rank(self, i: int, j: int) -> int:
+        """Machine rank of grid processor ``(i, j)``."""
+        if not (0 <= i < self.pr and 0 <= j < self.pc):
+            raise DistributionError(
+                f"grid position ({i}, {j}) out of range for {self.pr} x {self.pc}"
+            )
+        return self.ranks[i * self.pc + j]
+
+    def row_group(self, i: int) -> list[int]:
+        """Machine ranks of grid row ``i`` (left to right)."""
+        return [self.rank(i, j) for j in range(self.pc)]
+
+    def col_group(self, j: int) -> list[int]:
+        """Machine ranks of grid column ``j`` (top to bottom)."""
+        return [self.rank(i, j) for i in range(self.pr)]
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def prow_of(self, i: int) -> int:
+        """Grid row owning global matrix row ``i``."""
+        if not (0 <= i < self.m):
+            raise DistributionError(f"row {i} out of range for m={self.m}")
+        return (i // self.bb) % self.pr
+
+    def pcol_of(self, j: int) -> int:
+        """Grid column owning global matrix column ``j``."""
+        if not (0 <= j < self.n):
+            raise DistributionError(f"column {j} out of range for n={self.n}")
+        return (j // self.bb) % self.pc
+
+    def rows_of(self, i: int, start: int = 0) -> np.ndarray:
+        """Global rows of grid row ``i`` (ascending), optionally ``>= start``."""
+        rows = self._rows[i]
+        if start:
+            rows = rows[rows >= start]
+        return rows
+
+    def cols_of(self, j: int, start: int = 0) -> np.ndarray:
+        """Global columns of grid column ``j`` (ascending), optionally ``>= start``."""
+        cols = self._cols[j]
+        if start:
+            cols = cols[cols >= start]
+        return cols
+
+    # ------------------------------------------------------------------
+    # Harness-side conversion (free)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        machine: Machine,
+        A: np.ndarray,
+        pr: int,
+        pc: int,
+        bb: int,
+        ranks: Sequence[int] | None = None,
+    ) -> "BlockCyclic2D":
+        """Distribute a global array block-cyclically (free: harness-side)."""
+        A = np.asarray(A)
+        if A.ndim != 2:
+            raise DistributionError(f"expected a 2-D array, got shape {A.shape}")
+        m, n = A.shape
+        if bb < 1 or pr < 1 or pc < 1:
+            raise DistributionError(
+                f"grid/block sizes must be positive, got pr={pr}, pc={pc}, bb={bb}"
+            )
+        row_idx = np.arange(m) // bb % pr
+        col_idx = np.arange(n) // bb % pc
+        blocks = {
+            (i, j): A[np.ix_(np.flatnonzero(row_idx == i), np.flatnonzero(col_idx == j))]
+            for i in range(pr)
+            for j in range(pc)
+        }
+        return cls(machine, m, n, pr, pc, bb, blocks=blocks, dtype=A.dtype, ranks=ranks)
+
+    def to_global(self) -> np.ndarray:
+        """Assemble the global array (free: harness-side, debug/validation)."""
+        out = np.zeros((self.m, self.n), dtype=self.dtype)
+        for i in range(self.pr):
+            for j in range(self.pc):
+                out[np.ix_(self._rows[i], self._cols[j])] = self.blocks[(i, j)]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockCyclic2D(m={self.m}, n={self.n}, grid={self.pr}x{self.pc}, "
+            f"bb={self.bb}, dtype={self.dtype})"
+        )

@@ -1,0 +1,230 @@
+"""Row-distributed dense matrices with owner-computes semantics.
+
+A :class:`DistMatrix` pairs a :class:`~repro.dist.layouts.RowLayout`
+with one local block per participating processor; block ``p`` holds the
+rows ``layout.rows_of(p)`` in ascending global order.  The container
+enforces the ownership discipline the simulator relies on: an algorithm
+may only read or write a processor's own block, and every block's shape
+is pinned to the layout.
+
+Cost conventions (paper Section 3): constructing, splitting, and
+reassembling distributed matrices is *harness-side* and free --
+:meth:`DistMatrix.from_global` and :meth:`DistMatrix.to_global` model
+the test harness teleporting data in and out of the machine, not an
+algorithm step.  Anything that moves rows *between processors* is an
+algorithm step and is metered through :class:`~repro.machine.Machine`:
+see :meth:`DistMatrix.gather_to_root` and
+:func:`~repro.dist.redistribute.redistribute_rows`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.dist.layouts import RowLayout
+from repro.machine import Machine
+from repro.machine.exceptions import DistributionError, OwnershipError
+
+__all__ = ["DistMatrix"]
+
+
+class DistMatrix:
+    """An ``m x ncols`` matrix distributed by rows over a machine.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine the blocks live on.
+    layout:
+        Row ownership; ``layout.m`` is the global row count.
+    ncols:
+        Number of columns (every block has this width).
+    blocks:
+        ``{rank: ndarray}`` with exactly one ``(layout.count(p), ncols)``
+        block per participant, rows sorted by global index.  Arrays are
+        stored as given (the simulator shares buffers; transfers return
+        the same array object) -- use :meth:`copy` for an independent
+        matrix.
+    dtype:
+        Element type; defaults to the common type of the blocks.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        layout: RowLayout,
+        ncols: int,
+        blocks: Mapping[int, np.ndarray],
+        dtype: np.dtype | type | str | None = None,
+    ) -> None:
+        ncols = int(ncols)
+        if ncols < 0:
+            raise DistributionError(f"ncols must be >= 0, got {ncols}")
+        parts = layout.participants()
+        extra = set(blocks) - set(parts)
+        if extra:
+            raise DistributionError(
+                f"blocks given for non-participating ranks {sorted(extra)}"
+            )
+        checked: dict[int, np.ndarray] = {}
+        for p in parts:
+            if p not in blocks:
+                raise DistributionError(f"missing local block for rank {p}")
+            blk = np.asarray(blocks[p])
+            expect = (layout.count(p), ncols)
+            if blk.shape != expect:
+                raise DistributionError(
+                    f"rank {p} block has shape {blk.shape}, layout requires {expect}"
+                )
+            checked[p] = blk
+        self.machine = machine
+        self.layout = layout
+        self.n = ncols
+        if dtype is not None:
+            self.dtype = np.dtype(dtype)
+        elif checked:
+            self.dtype = np.result_type(*checked.values())
+        else:
+            self.dtype = np.dtype(np.float64)
+        # Blocks and declared dtype must agree (to_global/gather allocate
+        # from self.dtype); casting is a no-op when they already match.
+        self.blocks = {
+            p: blk if blk.dtype == self.dtype else blk.astype(self.dtype)
+            for p, blk in checked.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Global row count."""
+        return self.layout.m
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.layout.m, self.n)
+
+    # ------------------------------------------------------------------
+    # Construction (harness-side, free)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        machine: Machine,
+        A: np.ndarray,
+        layout: RowLayout,
+        dtype: np.dtype | type | str | None = None,
+    ) -> "DistMatrix":
+        """Distribute a global array into ``layout`` (free: harness-side).
+
+        Models the benchmark harness placing the input on the machine;
+        no simulated communication is charged.  Blocks are copies, so
+        later mutation of ``A`` does not alias the distributed matrix.
+        """
+        A = np.asarray(A)
+        if A.ndim != 2:
+            raise DistributionError(f"expected a 2-D array, got shape {A.shape}")
+        if A.shape[0] != layout.m:
+            raise DistributionError(
+                f"array has {A.shape[0]} rows but layout distributes {layout.m}"
+            )
+        blocks = {p: A[layout.rows_of(p), :] for p in layout.participants()}
+        return cls(machine, layout, A.shape[1], blocks, dtype=dtype or A.dtype)
+
+    @classmethod
+    def zeros(
+        cls,
+        machine: Machine,
+        layout: RowLayout,
+        ncols: int,
+        dtype: np.dtype | type | str = np.float64,
+    ) -> "DistMatrix":
+        """All-zero distributed matrix (free: harness-side allocation)."""
+        dt = np.dtype(dtype)
+        blocks = {
+            p: np.zeros((layout.count(p), int(ncols)), dtype=dt)
+            for p in layout.participants()
+        }
+        return cls(machine, layout, ncols, blocks, dtype=dt)
+
+    def to_global(self) -> np.ndarray:
+        """Assemble the global array (free: harness-side, debug/validation).
+
+        Algorithms must not use this to move data -- it is the harness
+        reading results out of the machine.  For a metered gather, use
+        :meth:`gather_to_root`.
+        """
+        out = np.zeros(self.shape, dtype=self.dtype)
+        for p, blk in self.blocks.items():
+            out[self.layout.rows_of(p), :] = blk
+        return out
+
+    def copy(self) -> "DistMatrix":
+        """Deep copy: independent blocks, shared layout (free)."""
+        return DistMatrix(
+            self.machine,
+            self.layout,
+            self.n,
+            {p: blk.copy() for p, blk in self.blocks.items()},
+            dtype=self.dtype,
+        )
+
+    # ------------------------------------------------------------------
+    # Local access (owner-computes discipline)
+    # ------------------------------------------------------------------
+    def _check_owner(self, p: int) -> None:
+        if p not in self.blocks:
+            raise OwnershipError(
+                f"rank {p} owns no rows of this matrix "
+                f"(participants: {self.layout.participants()})"
+            )
+
+    def local(self, p: int) -> np.ndarray:
+        """Rank ``p``'s local block (rows in ascending global order)."""
+        self._check_owner(p)
+        return self.blocks[p]
+
+    def set_local(self, p: int, block: np.ndarray) -> None:
+        """Replace rank ``p``'s local block (shape-checked)."""
+        self._check_owner(p)
+        block = np.asarray(block)
+        expect = (self.layout.count(p), self.n)
+        if block.shape != expect:
+            raise DistributionError(
+                f"rank {p} block has shape {block.shape}, layout requires {expect}"
+            )
+        self.blocks[p] = block
+
+    # ------------------------------------------------------------------
+    # Metered movement
+    # ------------------------------------------------------------------
+    def gather_to_root(self, root: int) -> np.ndarray:
+        """Collect the whole matrix onto ``root`` -- a *charged* gather.
+
+        Unlike :meth:`to_global`, this is an algorithm step: every
+        non-root participant's block travels through a binomial gather
+        tree, so the words/messages appear in the machine's report.
+        Returns the assembled ``m x n`` array held by ``root``.
+        """
+        from repro.collectives import CommContext, gather
+
+        parts = self.layout.participants()
+        ranks = sorted(set(parts) | {root})
+        pieces = [self.blocks.get(r) for r in ranks]
+        if len(ranks) > 1:
+            ctx = CommContext(self.machine, ranks)
+            pieces = gather(ctx, ranks.index(root), pieces)
+        out = np.zeros(self.shape, dtype=self.dtype)
+        for r, piece in zip(ranks, pieces):
+            if piece is not None and self.layout.count(r):
+                out[self.layout.rows_of(r), :] = piece
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistMatrix(shape={self.shape}, dtype={self.dtype}, "
+            f"participants={self.layout.participants()})"
+        )

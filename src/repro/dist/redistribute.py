@@ -1,0 +1,99 @@
+"""Metered row redistribution between arbitrary layouts.
+
+3d-caqr-eg's inductive case wraps every multiplication in all-to-all
+redistributions between row layouts and the dmm brick layout
+(Section 7.2), and its base case converts row-cyclic to block-row-like
+layouts; the Eq. 13 overhead terms in the paper's analysis are exactly
+the cost of these movements.  :func:`redistribute_rows` is the
+standalone primitive: it routes every row from its old owner to its new
+owner through the library's all-to-all collectives, so all
+inter-processor movement flows through :meth:`Machine.transfer` /
+:meth:`Machine.exchange_round` and shows up in the critical-path
+accounting -- nothing is teleported.
+
+Two variants, matching the all-to-all algorithms of Appendix A.3:
+
+* ``"index"`` -- the radix-2 index algorithm [BHK+97]: blocks travel up
+  to ``ceil(log2 P)`` hops, one coalesced message per processor per
+  round;
+* ``"two_phase"`` (default, the paper's choice) -- the balanced variant
+  [HBJ96]: each block's elements are dealt cyclically over intermediate
+  processors and routed home in a second index all-to-all, bounding the
+  per-round message sizes by the row/column sums of the traffic matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives import CommContext
+from repro.collectives.alltoall import Item, all_to_all_index, all_to_all_two_phase
+from repro.dist.distmatrix import DistMatrix
+from repro.dist.layouts import RowLayout
+from repro.machine.exceptions import DistributionError
+
+__all__ = ["redistribute_rows"]
+
+
+def redistribute_rows(
+    A: DistMatrix, new_layout: RowLayout, method: str = "two_phase"
+) -> DistMatrix:
+    """Move the rows of ``A`` into ``new_layout``; contents unchanged.
+
+    Returns a new :class:`DistMatrix` over ``new_layout`` holding
+    exactly the same global matrix.  When the two layouts agree row for
+    row the input is returned unchanged at zero cost (no data needs to
+    move).  Otherwise every row travels from its old owner to its new
+    owner through one all-to-all (``method`` selects the variant), with
+    per-destination blocks coalesced so each processor pays one message
+    per all-to-all round.  Row indices ride as zero-cost routing
+    metadata; only matrix entries count as words.
+    """
+    old = A.layout
+    if new_layout.m != old.m:
+        raise DistributionError(
+            f"cannot redistribute {old.m} rows into a layout of {new_layout.m}"
+        )
+    if old.same_as(new_layout):
+        return A  # identical ownership: zero-cost no-op
+    if method not in ("index", "two_phase"):
+        raise ValueError(f"unknown all-to-all method {method!r}")
+
+    machine = A.machine
+    n = A.n
+    # Differing layouts of the same m rows involve at least two ranks
+    # (a single shared participant would make the ownerships identical).
+    ranks = sorted(set(old.participants()) | set(new_layout.participants()))
+    new_owners = new_layout.owners()
+
+    ctx = CommContext(machine, ranks)
+    g = {r: i for i, r in enumerate(ranks)}  # machine rank -> group rank
+
+    # One item per (source, destination) pair: the sub-block of rows the
+    # destination will own, tagged with their global indices (tags are
+    # Meta-wrapped by the collectives, hence free).
+    items: list[list[Item]] = [[] for _ in range(ctx.size)]
+    for p in old.participants():
+        rows = old.rows_of(p)
+        if rows.size == 0:
+            continue
+        dests = new_owners[rows]
+        blk = A.local(p)
+        for t in np.unique(dests):
+            sel = dests == t
+            items[g[p]].append(
+                (g[int(t)], ("rows", rows[sel]), np.ascontiguousarray(blk[sel, :]))
+            )
+
+    run = all_to_all_two_phase if method == "two_phase" else all_to_all_index
+    received = run(ctx, items)
+
+    out_blocks: dict[int, np.ndarray] = {}
+    for t in new_layout.participants():
+        rows_t = new_layout.rows_of(t)
+        out = np.zeros((rows_t.size, n), dtype=A.dtype)
+        for tag, arr in received[g[t]]:
+            _kind, sub_rows = tag
+            out[np.searchsorted(rows_t, sub_rows), :] = arr.reshape(sub_rows.size, n)
+        out_blocks[t] = out
+    return DistMatrix(machine, new_layout, n, out_blocks, dtype=A.dtype)

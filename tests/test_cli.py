@@ -1,0 +1,108 @@
+"""Smoke tests for the command-line interface (``python -m repro``).
+
+The CLI is the repo's front door: ``run`` factors one matrix and prints
+the measured cost triple, ``sweep`` varies one knob, ``profiles`` lists
+the machine profiles.  These tests exercise both the in-process
+``main()`` entry (fast, covers argument plumbing) and the real
+``python -m repro`` subprocess (covers ``__main__`` and exit codes).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_module(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestMainInProcess:
+    def test_run_prints_cost_triple(self, capsys):
+        rc = main(["run", "--alg", "caqr1d", "--m", "64", "--n", "8", "--P", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for col in ("flops", "words", "messages", "residual", "caqr1d"):
+            assert col in out
+
+    def test_run_caqr3d_reports_phase_volume(self, capsys):
+        # b < n forces the inductive case, whose dmm redistributions
+        # produce the all-to-all phase traffic the CLI reports.
+        rc = main(["run", "--alg", "caqr3d", "--m", "32", "--n", "8", "--P", "4",
+                   "--b", "4", "--bstar", "2", "--no-validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "word volume by phase" in out
+        assert "all-to-all" in out
+
+    def test_sweep_varies_knob(self, capsys):
+        rc = main(["sweep", "--alg", "caqr1d", "--m", "64", "--n", "8", "--P", "4",
+                   "--knob", "b", "--values", "8,4", "--no-validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep over b" in out
+        assert "t(cluster)" in out
+
+    def test_sweep_accepts_float_values(self, capsys):
+        rc = main(["sweep", "--alg", "caqr3d", "--m", "32", "--n", "8", "--P", "2",
+                   "--knob", "delta", "--values", "0.5,0.667", "--no-validate"])
+        assert rc == 0
+        assert "sweep over delta" in capsys.readouterr().out
+
+    def test_profiles_lists_builtins(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("unit", "cluster", "cloud", "supercomputer"):
+            assert name in out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--alg", "nope", "--m", "8", "--n", "2", "--P", "1"])
+        assert exc.value.code == 2  # argparse usage error
+
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+
+class TestModuleSubprocess:
+    def test_run(self):
+        proc = run_module("run", "--alg", "tsqr", "--m", "64", "--n", "8", "--P", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "tsqr" in proc.stdout
+        assert "modeled time by machine profile" in proc.stdout
+
+    def test_sweep(self):
+        proc = run_module("sweep", "--alg", "tsqr", "--m", "64", "--n", "8", "--P", "4",
+                          "--knob", "eps", "--values", "1.0", "--no-validate")
+        assert proc.returncode == 0, proc.stderr
+        assert "sweep over eps" in proc.stdout
+
+    def test_profiles(self):
+        proc = run_module("profiles")
+        assert proc.returncode == 0, proc.stderr
+        assert "supercomputer" in proc.stdout
+
+    def test_bad_usage_exit_code(self):
+        proc = run_module("run", "--alg", "tsqr")  # missing required args
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr.lower()
