@@ -24,7 +24,7 @@ def test_ablation_basecase(benchmark):
     ]
     rows = []
     for b in (64, 32, 16, 8, 4, 2):
-        r = run_qr("caqr1d", A, P=P, b=b, validate=False)
+        r = run_qr("caqr1d", A, P=P, b=b, backend="symbolic")
         rep = r.report
         rows.append((b, rep))
         lines.append(

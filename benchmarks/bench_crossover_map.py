@@ -33,7 +33,7 @@ def test_crossover_map(benchmark):
         ("eg(e=.5)", "caqr1d", {"eps": 0.5}),
         ("eg(e=1)", "caqr1d", {"eps": 1.0}),
     ):
-        r = run_qr(alg, A, P=P, validate=False, **kw)
+        r = run_qr(alg, A, P=P, backend="symbolic", **kw)
         candidates[name] = r.report
 
     width = max(len(k) for k in candidates) + 2

@@ -21,7 +21,7 @@ def sweep():
     A = gaussian(M, N, seed=11)
     pts = []
     for b in BS:
-        r = run_qr("caqr1d", A, P=P, b=b, validate=False)
+        r = run_qr("caqr1d", A, P=P, b=b, backend="symbolic")
         pts.append(
             SweepPoint(
                 knob=b,

@@ -36,7 +36,7 @@ def sweep():
     A = gaussian(M, N, seed=13)
     out = []
     for delta in DELTAS:
-        r = run_qr("caqr3d", A, P=P, delta=delta, validate=False)
+        r = run_qr("caqr3d", A, P=P, delta=delta, backend="symbolic")
         out.append((delta, r))
     return out
 

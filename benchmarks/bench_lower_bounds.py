@@ -25,7 +25,7 @@ def test_lower_bounds(benchmark):
     lines.append(f"{'algorithm':<14} {'F-ratio':>8} {'W-ratio':>8} {'S-ratio':>8}")
     ts_ratios = {}
     for alg, kw in (("house1d", {}), ("tsqr", {}), ("caqr1d", {"eps": 1.0})):
-        r = run_qr(alg, A, P=P, validate=False, **kw)
+        r = run_qr(alg, A, P=P, backend="symbolic", **kw)
         ratios = optimality_ratios(
             {"flops": r.report.critical_flops, "words": r.report.critical_words,
              "messages": r.report.critical_messages}, ts)
@@ -40,7 +40,7 @@ def test_lower_bounds(benchmark):
     lines.append(f"square-ish m=n={n2} P={P2}  (bounds: W={sq['words']:.0f}, S={sq['messages']:.1f})")
     for alg, kw in (("house2d", {"bb": 2}), ("caqr2d", {"bb": 16}),
                     ("caqr3d", {"delta": 2.0 / 3.0})):
-        r = run_qr(alg, B, P=P2, validate=False, **kw)
+        r = run_qr(alg, B, P=P2, backend="symbolic", **kw)
         ratios = optimality_ratios(
             {"flops": r.report.critical_flops, "words": r.report.critical_words,
              "messages": r.report.critical_messages}, sq)

@@ -4,15 +4,34 @@ Sweeps P and n on square matrices and fits the measured critical-path
 slopes.  Theorem 1 predicts ``F ~ mn^2/P`` and, for fixed delta and
 square matrices, ``W ~ n^2/P^delta`` growing like ``n^{2-delta}`` in n
 at fixed P (aspect ``nP/m = P``).
+
+Two regimes:
+
+* the original small-``P`` sweep (P <= 16), where the numeric backend
+  used to run -- now cost-only, verified bit-identical to numeric by
+  ``tests/test_backend_equivalence.py``;
+* the paper-scale sweep, ``P`` up to 4096 -- *only* possible on the
+  symbolic backend (numerically every simulated rank would execute real
+  arithmetic), with per-point wall-clock recorded to
+  ``BENCH_theorem1_symbolic.json`` and a CI time budget asserted.
 """
+
+import time
 
 from repro.analysis import fit_exponent
 from repro.workloads import gaussian, run_qr
 
-from conftest import save_table
+from conftest import save_root_bench, save_table
 
 PS = (2, 4, 8, 16)
 NS = (32, 64, 128)
+
+#: Paper-scale processor counts (symbolic backend only); P = 16 anchors
+#: the 1/P regime before the critical path flattens into the log floor.
+LARGE_PS = (16, 64, 256, 1024, 4096)
+LARGE_N = 64
+#: Wall-clock budget for the whole large-P sweep (CI regression guard).
+LARGE_SWEEP_BUDGET_S = 120.0
 
 
 def test_theorem1_scaling(benchmark):
@@ -20,14 +39,14 @@ def test_theorem1_scaling(benchmark):
     A = gaussian(n, n, seed=19)
     p_rows = []
     for P in PS:
-        r = run_qr("caqr3d", A, P=P, delta=0.5, validate=False)
+        r = run_qr("caqr3d", A, P=P, delta=0.5, backend="symbolic")
         p_rows.append((P, r.report.critical_flops, r.report.critical_words,
                        r.report.critical_messages))
     slope_f = fit_exponent(PS, [r[1] for r in p_rows])
 
     n_rows = []
     for n_ in NS:
-        r = run_qr("caqr3d", gaussian(n_, n_, seed=20), P=8, delta=0.5, validate=False)
+        r = run_qr("caqr3d", gaussian(n_, n_, seed=20), P=8, delta=0.5, backend="symbolic")
         n_rows.append((n_, r.report.critical_words))
     slope_wn = fit_exponent(NS, [r[1] for r in n_rows])
 
@@ -42,9 +61,62 @@ def test_theorem1_scaling(benchmark):
         "leading term; the mn/P log-factor all-to-all terms scale like n^2 at "
         "fixed P and pull the total toward +2 at this scale)"
     )
-    save_table("theorem1_scaling", "\n".join(lines))
+    save_table(
+        "theorem1_scaling",
+        "\n".join(lines),
+        rows=[{"P": p, "flops": f, "words": w, "messages": s} for p, f, w, s in p_rows],
+    )
 
     assert -2.0 <= slope_f <= -0.4
     assert slope_wn <= 2.5
 
     benchmark(lambda: run_qr("caqr3d", A, P=8, delta=0.5, validate=False))
+
+
+def test_theorem1_paper_scale_symbolic():
+    """Theorem-1 sweep at the paper's processor counts (P up to 4096).
+
+    Infeasible numerically (every simulated rank would execute real
+    arithmetic); the symbolic backend runs the identical task stream
+    cost-only.  Guarded by a wall-clock budget so simulator regressions
+    fail CI.
+    """
+    rows = []
+    t_total0 = time.perf_counter()
+    for P in LARGE_PS:
+        t0 = time.perf_counter()
+        r = run_qr("caqr3d", (LARGE_N, LARGE_N), P=P, delta=0.5, backend="symbolic")
+        wall = time.perf_counter() - t0
+        rows.append(
+            {
+                "P": P,
+                "n": LARGE_N,
+                "flops": r.report.critical_flops,
+                "words": r.report.critical_words,
+                "messages": r.report.critical_messages,
+                "wall_clock_s": round(wall, 2),
+            }
+        )
+    total = time.perf_counter() - t_total0
+
+    lines = [
+        f"F4b / Theorem 1 at paper scale (symbolic backend, n={LARGE_N}, delta=1/2)",
+        f"{'P':>6} {'flops':>12} {'words':>10} {'messages':>10} {'wall(s)':>8}",
+    ]
+    lines += [
+        f"{r['P']:>6} {r['flops']:>12.0f} {r['words']:>10.0f} "
+        f"{r['messages']:>10.0f} {r['wall_clock_s']:>8.2f}"
+        for r in rows
+    ]
+    lines.append(f"total sweep wall-clock: {total:.1f}s (budget {LARGE_SWEEP_BUDGET_S:.0f}s)")
+    save_table("theorem1_paper_scale", "\n".join(lines), rows=rows)
+    save_root_bench(
+        "theorem1_symbolic",
+        {"rows": rows, "total_wall_clock_s": round(total, 2), "budget_s": LARGE_SWEEP_BUDGET_S},
+    )
+
+    # The early points must show the ~1/P flop scaling before the
+    # critical path flattens into the log-factor floor.
+    assert rows[0]["flops"] > 1.5 * rows[1]["flops"]
+    # Regression guard: the whole paper-scale sweep stays under budget.
+    assert total < LARGE_SWEEP_BUDGET_S

@@ -20,7 +20,7 @@ def test_theorem2_scaling(benchmark):
     A = gaussian(m, n, seed=17)
     p_rows = []
     for P in PS:
-        r = run_qr("caqr1d", A, P=P, eps=1.0, validate=False)
+        r = run_qr("caqr1d", A, P=P, eps=1.0, backend="symbolic")
         p_rows.append((P, r.report.critical_flops, r.report.critical_words,
                        r.report.critical_messages))
     slope_f = fit_exponent(PS, [r[1] for r in p_rows])
@@ -29,7 +29,7 @@ def test_theorem2_scaling(benchmark):
     n_rows = []
     P = 16
     for n_ in NS:
-        r = run_qr("caqr1d", gaussian(64 * n_, n_, seed=18), P=P, eps=1.0, validate=False)
+        r = run_qr("caqr1d", gaussian(64 * n_, n_, seed=18), P=P, eps=1.0, backend="symbolic")
         n_rows.append((n_, r.report.critical_words))
     slope_wn = fit_exponent(NS, [r[1] for r in n_rows])
 

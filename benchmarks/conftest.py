@@ -1,21 +1,100 @@
 """Shared helpers for the benchmark suite.
 
 Each benchmark regenerates one table or figure of the paper (see
-DESIGN.md section 4).  Results are printed and also written to
-``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them
-verbatim; the pytest-benchmark fixture times the core computation.
+DESIGN.md section 4).  Results are written twice:
+
+* ``benchmarks/results/<name>.txt`` -- the formatted table EXPERIMENTS.md
+  cites verbatim;
+* ``benchmarks/results/<name>.json`` -- the same result machine-readable
+  (pass ``rows=``/``data=`` to :func:`save_table`, or call
+  :func:`save_json` directly).
+
+On top of the per-benchmark artifacts, a session hook records every
+benchmark test's wall-clock and writes ``BENCH_suite.json`` at the repo
+root, so the perf trajectory of the suite itself is tracked in a
+machine-readable file (the pytest-benchmark fixture additionally times
+each bench's core computation; run with ``--benchmark-json`` for its
+full statistics).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+_session_timings: dict[str, float] = {}
 
 
-def save_table(name: str, text: str) -> None:
-    """Persist a formatted result table and echo it."""
+def save_table(name: str, text: str, rows: list | None = None, data: dict | None = None) -> None:
+    """Persist a formatted result table and echo it.
+
+    ``rows`` (a list of flat dicts) and/or ``data`` (an arbitrary
+    JSON-serializable dict) additionally produce
+    ``results/<name>.json``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+    if rows is not None or data is not None:
+        payload: dict = {"name": name}
+        if rows is not None:
+            payload["rows"] = rows
+        if data is not None:
+            payload.update(data)
+        save_json(name, payload)
+
+
+def save_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result as ``results/<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n")
+    print(f"[saved to {path}]")
+
+
+def save_root_bench(name: str, payload: dict) -> None:
+    """Write a ``BENCH_<name>.json`` perf-trajectory file at the repo root."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n")
+    print(f"[saved to {path}]")
+
+
+# ----------------------------------------------------------------------
+# Suite wall-clock tracking -> BENCH_suite.json
+# ----------------------------------------------------------------------
+
+def pytest_runtest_setup(item) -> None:
+    item._bench_t0 = time.perf_counter()
+
+
+def pytest_runtest_teardown(item) -> None:
+    t0 = getattr(item, "_bench_t0", None)
+    if t0 is not None:
+        _session_timings[item.nodeid] = round(time.perf_counter() - t0, 4)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if not _session_timings:
+        return
+    # Only refresh the version-controlled trajectory file when the whole
+    # suite ran: a single-bench session must not overwrite it with a
+    # partial (and misleadingly small) record.
+    ran_modules = {nodeid.split("::")[0].split("/")[-1] for nodeid in _session_timings}
+    all_modules = {p.name for p in pathlib.Path(__file__).parent.glob("bench_*.py")}
+    if not all_modules <= ran_modules:
+        print(
+            f"[BENCH_suite.json not updated: partial session "
+            f"({len(ran_modules)}/{len(all_modules)} benchmark modules)]"
+        )
+        return
+    payload = {
+        "unit": "seconds (wall-clock per benchmark test, setup+call+teardown)",
+        "total_s": round(sum(_session_timings.values()), 3),
+        "tests": dict(sorted(_session_timings.items())),
+    }
+    save_root_bench("suite", payload)

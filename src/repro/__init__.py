@@ -23,6 +23,7 @@ Or use the one-call harness::
     print(run_qr("caqr3d", A, P=16, delta=2/3).row())
 """
 
+from repro.backend import SymbolicArray
 from repro.collectives import CommContext
 from repro.dist import (
     BlockRowLayout,
@@ -63,6 +64,7 @@ __all__ = [
     "ExplicitRowLayout",
     "MACHINE_PROFILES",
     "Machine",
+    "SymbolicArray",
     "__version__",
     "qr_1d_caqr_eg",
     "qr_3d_caqr_eg",

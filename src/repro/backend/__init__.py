@@ -1,0 +1,29 @@
+"""Dual execution backends: numeric arrays or cost-only symbolic shapes.
+
+See :mod:`repro.backend.symbolic` for the data model and
+:mod:`repro.backend.ops` for the indirection layer.  The backend is
+selected per :class:`~repro.machine.Machine`
+(``Machine(P, backend="symbolic")``); algorithms are backend-agnostic.
+"""
+
+from repro.backend.ops import (
+    NumericOps,
+    SymbolicOps,
+    asarray,
+    ascontiguousarray,
+    get_ops,
+    solve_triangular,
+)
+from repro.backend.symbolic import SymbolicArray, dtype_of, is_symbolic
+
+__all__ = [
+    "NumericOps",
+    "SymbolicArray",
+    "SymbolicOps",
+    "asarray",
+    "ascontiguousarray",
+    "dtype_of",
+    "get_ops",
+    "is_symbolic",
+    "solve_triangular",
+]

@@ -1,0 +1,131 @@
+"""Backend indirection for array creation and LAPACK-style kernels.
+
+The simulator runs every algorithm in one of two modes:
+
+* **numeric** -- today's behavior: real numpy arrays, real arithmetic,
+  results that can be validated against reference factorizations;
+* **symbolic** -- cost-only: :class:`~repro.backend.symbolic.SymbolicArray`
+  stand-ins flow through the identical control path, every
+  ``machine.compute``/``transfer`` fires with the same arguments, but no
+  element arithmetic happens.
+
+Elementwise expressions and most shape-level numpy functions dispatch
+automatically through ``SymbolicArray``'s protocol hooks.  What cannot
+dispatch -- array *creation* (``np.zeros`` has no array argument to
+dispatch on) and scipy kernels (``solve_triangular``) -- goes through
+this module instead: creation via the machine-bound :class:`Ops` object
+(``machine.ops.zeros(...)``), kernels via the type-dispatched
+module-level functions (:func:`solve_triangular`, :func:`asarray`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backend.symbolic import SymbolicArray, dtype_of, is_symbolic
+
+__all__ = [
+    "NumericOps",
+    "SymbolicOps",
+    "get_ops",
+    "asarray",
+    "ascontiguousarray",
+    "solve_triangular",
+]
+
+
+class NumericOps:
+    """Real-array backend: thin wrappers over numpy."""
+
+    backend = "numeric"
+    symbolic = False
+
+    @staticmethod
+    def zeros(shape, dtype=np.float64):
+        return np.zeros(shape, dtype=dtype)
+
+    @staticmethod
+    def empty(shape, dtype=np.float64):
+        return np.empty(shape, dtype=dtype)
+
+    @staticmethod
+    def eye(n, dtype=np.float64):
+        return np.eye(n, dtype=dtype)
+
+    @staticmethod
+    def asarray(x, dtype=None):
+        if is_symbolic(x):
+            raise TypeError(
+                "symbolic array given to a numeric-backend machine; "
+                "construct the Machine with backend='symbolic'"
+            )
+        return np.asarray(x) if dtype is None else np.asarray(x, dtype=dtype)
+
+
+class SymbolicOps:
+    """Cost-only backend: creation returns shape/dtype stand-ins."""
+
+    backend = "symbolic"
+    symbolic = True
+
+    @staticmethod
+    def zeros(shape, dtype=np.float64):
+        return SymbolicArray(shape, dtype)
+
+    empty = zeros
+
+    @staticmethod
+    def eye(n, dtype=np.float64):
+        return SymbolicArray((int(n), int(n)), dtype)
+
+    @staticmethod
+    def asarray(x, dtype=None):
+        if is_symbolic(x):
+            return x if dtype is None else x.astype(dtype)
+        return SymbolicArray.like(x, dtype=dtype)
+
+
+_OPS = {"numeric": NumericOps(), "symbolic": SymbolicOps()}
+
+
+def get_ops(backend: str):
+    """The shared :class:`Ops` instance for a backend name."""
+    try:
+        return _OPS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'numeric' or 'symbolic'"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Type-dispatched helpers (no machine in scope required)
+# ----------------------------------------------------------------------
+
+def asarray(x: Any) -> Any:
+    """``np.asarray`` that passes symbolic arrays through untouched."""
+    return x if is_symbolic(x) else np.asarray(x)
+
+
+def ascontiguousarray(x: Any) -> Any:
+    """``np.ascontiguousarray`` that passes symbolic arrays through."""
+    return x if is_symbolic(x) else np.ascontiguousarray(x)
+
+
+def solve_triangular(a: Any, b: Any, **kwargs: Any) -> Any:
+    """Backend-dispatched ``scipy.linalg.solve_triangular``.
+
+    In symbolic mode the solution has ``b``'s shape and the promoted
+    dtype; callers charge the flops explicitly, exactly as they do in
+    numeric mode.
+    """
+    if is_symbolic(a) or is_symbolic(b):
+        dtype = np.result_type(dtype_of(a), dtype_of(b))
+        if dtype.kind in "iub":
+            dtype = np.dtype(np.float64)
+        return SymbolicArray(np.shape(b) if not is_symbolic(b) else b.shape, dtype)
+    import scipy.linalg
+
+    return scipy.linalg.solve_triangular(a, b, **kwargs)

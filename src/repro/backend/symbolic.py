@@ -1,0 +1,558 @@
+"""Shape-and-dtype-only arrays for cost-only execution.
+
+A :class:`SymbolicArray` stands in for a numpy array everywhere the
+simulator only needs *metering information*: how many words a payload
+carries (:func:`~repro.machine.machine.words_of` reads ``.size``) and
+what shapes flow into the flop formulas.  No element storage exists and
+no arithmetic ever happens -- every operation is O(shape arithmetic),
+which is what turns benchmark sweeps from O(flops) wall-clock into
+O(tasks).
+
+The class participates in numpy's dispatch protocols:
+
+* ``__array_ufunc__`` -- elementwise ufuncs (``+``, ``-``, ``*``,
+  ``np.conjugate``, ``np.multiply.outer``, ...) return a
+  :class:`SymbolicArray` with the broadcast shape and promoted dtype;
+* ``__array_function__`` -- a registry of the shape-level functions the
+  library uses (``np.vstack``, ``np.concatenate``, ``np.triu``,
+  ``np.diag``, ...).  Unregistered functions raise ``TypeError`` loudly
+  rather than silently materializing data.
+
+Writes (``__setitem__``) are no-ops: cost-only mode never reads element
+values, so there is nothing to store.  Indexing implements numpy's
+result-shape rules for the patterns the library uses (basic slices,
+integers, and 1-D boolean / integer advanced indices).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SymbolicArray", "is_symbolic", "dtype_of"]
+
+_F64 = np.dtype(np.float64)
+
+
+def is_symbolic(x: Any) -> bool:
+    """True when ``x`` is a :class:`SymbolicArray`."""
+    return isinstance(x, SymbolicArray)
+
+
+def dtype_of(x: Any) -> np.dtype:
+    """dtype of an array-like operand (symbolic, ndarray, or scalar)."""
+    if isinstance(x, SymbolicArray):
+        return x.dtype
+    if isinstance(x, (np.ndarray, np.generic)):
+        return x.dtype
+    return np.result_type(x)
+
+
+def _shape_of(x: Any) -> tuple[int, ...]:
+    if isinstance(x, SymbolicArray):
+        return x.shape
+    return np.shape(x)
+
+
+def _slice_len(s: slice, dim: int) -> int:
+    return len(range(*s.indices(dim)))
+
+
+def _index_shape(shape: tuple[int, ...], idx: Any) -> tuple[int, ...]:
+    """Result shape of ``array_of(shape)[idx]`` under numpy's rules.
+
+    Supports the subset the library exercises: integers, slices,
+    ``Ellipsis``, ``None``, and 1-D boolean or integer advanced indices
+    (several advanced indices must broadcast to a common 1-D length).
+    """
+    if not isinstance(idx, tuple):
+        idx = (idx,)
+    # Expand Ellipsis to the right number of full slices.
+    n_axes = sum(1 for e in idx if e is not None and e is not Ellipsis)
+    ellipsis_pos = next((i for i, e in enumerate(idx) if e is Ellipsis), None)
+    if ellipsis_pos is not None:
+        fill = (slice(None),) * (len(shape) - n_axes)
+        idx = idx[:ellipsis_pos] + fill + idx[ellipsis_pos + 1 :]
+    elif n_axes < len(shape):
+        idx = idx + (slice(None),) * (len(shape) - n_axes)
+
+    adv_shapes: list[tuple[int, ...]] = []
+    adv_positions: list[int] = []
+    out: list[Any] = []  # ints dropped; slices -> length; advanced -> marker
+    axis = 0
+    for entry in idx:
+        if entry is None:
+            out.append(1)
+            continue
+        if axis >= len(shape):
+            raise IndexError(f"too many indices for shape {shape}")
+        dim = shape[axis]
+        if isinstance(entry, (int, np.integer)):
+            # Bounds-check so iteration protocols terminate with
+            # IndexError exactly like a real ndarray.
+            if not -dim <= entry < dim:
+                raise IndexError(
+                    f"index {entry} out of bounds for axis {axis} with size {dim}"
+                )
+            # axis dropped
+        elif isinstance(entry, slice):
+            out.append(_slice_len(entry, dim))
+        else:
+            arr = entry if isinstance(entry, np.ndarray) else np.asarray(entry)
+            if arr.dtype == bool:
+                if arr.ndim != 1 or arr.shape[0] != dim:
+                    raise NotImplementedError(
+                        f"symbolic indexing supports only 1-D boolean masks "
+                        f"matching the axis (axis {axis} has {dim}, mask shape {arr.shape})"
+                    )
+                adv_shapes.append((int(np.count_nonzero(arr)),))
+            elif np.issubdtype(arr.dtype, np.integer):
+                adv_shapes.append(arr.shape)
+            else:
+                raise TypeError(f"unsupported symbolic index {entry!r}")
+            adv_positions.append(len(out))
+            out.append(None)  # placeholder for the advanced-result axes
+        axis += 1
+
+    if not adv_shapes:
+        return tuple(out)
+    # Advanced indices broadcast together (e.g. np.ix_ pairs).
+    adv_result = np.broadcast_shapes(*adv_shapes)
+    first, last = adv_positions[0], adv_positions[-1]
+    contiguous = adv_positions == list(range(first, last + 1))
+    trimmed = [d for d in out if d is not None]
+    insert_at = first if contiguous else 0  # numpy fronts split advanced axes
+    return tuple(trimmed[:insert_at]) + adv_result + tuple(trimmed[insert_at:])
+
+
+def _broadcast(*shapes: tuple[int, ...]) -> tuple[int, ...]:
+    return np.broadcast_shapes(*shapes)
+
+
+_HANDLED_FUNCTIONS: dict[Any, Any] = {}
+
+
+def _implements(np_function):
+    def decorator(func):
+        _HANDLED_FUNCTIONS[np_function] = func
+        return func
+
+    return decorator
+
+
+class SymbolicArray:
+    """An array with a shape and a dtype but no elements.
+
+    Immutable: every operation returns a new instance (or ``self`` when
+    nothing would change -- e.g. ``conj``/``copy``), and ``__setitem__``
+    is a checked no-op.
+    """
+
+    __slots__ = ("shape", "dtype", "size")
+
+    def __init__(self, shape, dtype=np.float64) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        self.shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in self.shape):
+            raise ValueError(f"negative dimension in shape {self.shape}")
+        self.dtype = np.dtype(dtype)
+        size = 1
+        for s in self.shape:
+            size *= s
+        self.size = size
+
+    @classmethod
+    def _new(cls, shape: tuple[int, ...], dtype: np.dtype) -> "SymbolicArray":
+        """Internal fast constructor: trusted tuple shape + np.dtype.
+
+        Symbolic mode's cost is pure Python overhead per task, so the
+        hot paths (indexing, arithmetic, reshape) bypass the validating
+        ``__init__``.
+        """
+        obj = object.__new__(cls)
+        obj.shape = shape
+        obj.dtype = dtype
+        size = 1
+        for s in shape:
+            size *= s
+        obj.size = size
+        return obj
+
+    @classmethod
+    def like(cls, x: Any, dtype=None) -> "SymbolicArray":
+        """Symbolic stand-in with ``x``'s shape (data, if any, is dropped)."""
+        return cls(_shape_of(x), dtype if dtype is not None else dtype_of(x))
+
+    # ------------------------------------------------------------------
+    # Shape attributes
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def T(self) -> "SymbolicArray":
+        return SymbolicArray(self.shape[::-1], self.dtype)
+
+    @property
+    def real(self) -> "SymbolicArray":
+        if self.dtype.kind == "c":
+            return SymbolicArray(self.shape, np.empty(0, self.dtype).real.dtype)
+        return SymbolicArray(self.shape, self.dtype)
+
+    @property
+    def imag(self) -> "SymbolicArray":
+        return self.real
+
+    def __len__(self) -> int:
+        if not self.shape:
+            raise TypeError("len() of unsized symbolic array")
+        return self.shape[0]
+
+    # ------------------------------------------------------------------
+    # Structural ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "SymbolicArray":
+        if shape == (-1,):  # hot path: flattening
+            return SymbolicArray._new((self.size,), self.dtype)
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        shape = tuple(int(s) for s in shape)
+        if -1 in shape:
+            known = 1
+            for s in shape:
+                if s != -1:
+                    known *= s
+            if shape.count(-1) != 1 or (known and self.size % known):
+                raise ValueError(f"cannot reshape size {self.size} into {shape}")
+            shape = tuple(self.size // known if s == -1 else s for s in shape)
+        total = 1
+        for s in shape:
+            total *= s
+        if total != self.size:
+            raise ValueError(f"cannot reshape size {self.size} into {shape}")
+        return SymbolicArray(shape, self.dtype)
+
+    def ravel(self) -> "SymbolicArray":
+        return self.reshape(self.size)
+
+    def transpose(self, *axes) -> "SymbolicArray":
+        if not axes:
+            return self.T
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return SymbolicArray(tuple(self.shape[a] for a in axes), self.dtype)
+
+    def conj(self) -> "SymbolicArray":
+        return self
+
+    conjugate = conj
+
+    def copy(self) -> "SymbolicArray":
+        return self
+
+    def astype(self, dtype, copy: bool = True) -> "SymbolicArray":
+        dtype = np.dtype(dtype)
+        if dtype == self.dtype:
+            return self
+        return SymbolicArray(self.shape, dtype)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def __getitem__(self, idx) -> "SymbolicArray":
+        # Fast paths for the dominant access patterns (plain slices).
+        shape = self.shape
+        if type(idx) is slice:
+            if len(shape) >= 1:
+                return SymbolicArray._new(
+                    (len(range(*idx.indices(shape[0]))),) + shape[1:], self.dtype
+                )
+        elif type(idx) is tuple and len(idx) == 2 and len(shape) == 2:
+            a, b = idx
+            if type(a) is slice and type(b) is slice:
+                return SymbolicArray._new(
+                    (
+                        len(range(*a.indices(shape[0]))),
+                        len(range(*b.indices(shape[1]))),
+                    ),
+                    self.dtype,
+                )
+        return SymbolicArray._new(_index_shape(shape, idx), self.dtype)
+
+    def __setitem__(self, idx, value) -> None:
+        # Cost-only mode: nothing is stored and nothing is checked --
+        # writes are pure no-ops.  Malformed indices still fail in the
+        # numeric runs the equivalence tests pair every symbolic run with.
+        pass
+
+    # ------------------------------------------------------------------
+    # Arithmetic (shape/dtype propagation only)
+    # ------------------------------------------------------------------
+    def _binary(self, other: Any, *, divide: bool = False) -> "SymbolicArray":
+        ocls = other.__class__
+        if ocls is SymbolicArray:
+            oshape, odtype = other.shape, other.dtype
+        elif ocls is int or ocls is float:
+            # Scalars never change the shape; python floats/ints do not
+            # demote inexact dtypes.
+            dtype = self.dtype
+            if dtype.kind in "iub" and (divide or ocls is float):
+                dtype = _F64
+            return SymbolicArray._new(self.shape, dtype)
+        else:
+            oshape, odtype = np.shape(other), dtype_of(other)
+        shape = self.shape if oshape == self.shape else _broadcast(self.shape, oshape)
+        dtype = self.dtype if odtype == self.dtype else np.result_type(self.dtype, odtype)
+        if divide and dtype.kind in "iub":
+            dtype = _F64
+        return SymbolicArray._new(shape, dtype)
+
+    def __add__(self, other):
+        return self._binary(other)
+
+    __radd__ = __add__
+    __sub__ = __add__
+    __rsub__ = __add__
+    __mul__ = __add__
+    __rmul__ = __add__
+
+    def __truediv__(self, other):
+        return self._binary(other, divide=True)
+
+    __rtruediv__ = __truediv__
+
+    def __pow__(self, other):
+        return self._binary(other)
+
+    def __neg__(self):
+        return self
+
+    def __pos__(self):
+        return self
+
+    def __abs__(self):
+        return self.real if self.dtype.kind == "c" else self
+
+    def __matmul__(self, other):
+        return _matmul_shape(self, other)
+
+    def __rmatmul__(self, other):
+        return _matmul_shape(other, self)
+
+    # Comparisons produce boolean masks; cost-only code never branches
+    # on data, so these exist only to fail loudly if it tries.
+    def _compare(self, other):
+        return SymbolicArray(_broadcast(self.shape, _shape_of(other)), np.bool_)
+
+    __lt__ = __le__ = __gt__ = __ge__ = _compare
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "symbolic arrays have no values; cost-only code must not "
+            "branch on data"
+        )
+
+    def __float__(self) -> float:
+        raise TypeError("symbolic arrays have no values")
+
+    # ------------------------------------------------------------------
+    # numpy protocol hooks
+    # ------------------------------------------------------------------
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        out = kwargs.pop("out", None)
+        if kwargs.pop("where", True) is not True:
+            return NotImplemented
+        if ufunc is np.matmul and method == "__call__":
+            return _matmul_shape(inputs[0], inputs[1])
+        if method == "__call__":
+            shape = _broadcast(*(_shape_of(x) for x in inputs))
+        elif method == "outer":
+            shape = ()
+            for x in inputs:
+                shape = shape + _shape_of(x)
+        elif method == "reduce":
+            axis = kwargs.get("axis", 0)
+            src = _shape_of(inputs[0])
+            if axis is None:
+                shape = ()
+            else:
+                shape = tuple(d for i, d in enumerate(src) if i != axis % len(src))
+        else:
+            return NotImplemented
+        if ufunc in _BOOLEAN_UFUNCS:
+            dtype = np.dtype(np.bool_)
+        else:
+            dtype = np.result_type(*(dtype_of(x) for x in inputs))
+            if ufunc in _INEXACT_UFUNCS and dtype.kind in "iub":
+                dtype = np.dtype(np.float64)
+        result = SymbolicArray(shape, dtype)
+        if out is not None:
+            # e.g. np.maximum(a, b, out=a): the write is a no-op.
+            return out[0] if isinstance(out, tuple) else out
+        return result
+
+    def __array_function__(self, func, types, args, kwargs):
+        handler = _HANDLED_FUNCTIONS.get(func)
+        if handler is None:
+            raise TypeError(
+                f"{func.__name__} is not implemented for SymbolicArray; "
+                "route it through repro.backend.ops or register a handler"
+            )
+        return handler(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SymbolicArray(shape={self.shape}, dtype={self.dtype})"
+
+
+_BOOLEAN_UFUNCS = {
+    np.less, np.less_equal, np.greater, np.greater_equal, np.equal,
+    np.not_equal, np.logical_and, np.logical_or, np.logical_not, np.isnan,
+    np.isfinite, np.isinf,
+}
+_INEXACT_UFUNCS = {np.true_divide, np.sqrt, np.hypot, np.exp, np.log}
+
+
+def _matmul_shape(a: Any, b: Any) -> SymbolicArray:
+    sa, sb = _shape_of(a), _shape_of(b)
+    dtype = np.result_type(dtype_of(a), dtype_of(b))
+    if len(sa) == 1 and len(sb) == 1:
+        if sa[0] != sb[0]:
+            raise ValueError(f"matmul: shapes {sa} and {sb} misaligned")
+        return SymbolicArray((), dtype)
+    if len(sa) == 1:
+        sa = (1,) + sa
+        if sa[1] != sb[0]:
+            raise ValueError(f"matmul: shapes {sa[1:]} and {sb} misaligned")
+        return SymbolicArray(sb[1:], dtype)
+    if len(sb) == 1:
+        if sa[-1] != sb[0]:
+            raise ValueError(f"matmul: shapes {sa} and {sb} misaligned")
+        return SymbolicArray(sa[:-1], dtype)
+    if sa[-1] != sb[-2]:
+        raise ValueError(f"matmul: shapes {sa} and {sb} misaligned")
+    return SymbolicArray(sa[:-2] + (sa[-2], sb[-1]), dtype)
+
+
+# ----------------------------------------------------------------------
+# __array_function__ registry
+# ----------------------------------------------------------------------
+
+def _as_2d_shape(x: Any) -> tuple[int, ...]:
+    s = _shape_of(x)
+    return (1,) + s if len(s) == 1 else s
+
+
+@_implements(np.concatenate)
+def _concatenate(arrays, axis=0, **kwargs):
+    arrays = arrays if isinstance(arrays, (list, tuple)) else list(arrays)
+    first = arrays[0]
+    # Fast path: 1-D same-dtype pieces (the collectives' reassembly case).
+    if first.__class__ is SymbolicArray and axis == 0 and len(first.shape) == 1:
+        total = 0
+        dtype = first.dtype
+        uniform = True
+        for a in arrays:
+            if a.__class__ is SymbolicArray:
+                if len(a.shape) != 1:
+                    uniform = False
+                    break
+                total += a.shape[0]
+                if a.dtype != dtype:
+                    uniform = False
+                    break
+            else:
+                uniform = False
+                break
+        if uniform:
+            return SymbolicArray._new((total,), dtype)
+    shapes = [_shape_of(a) for a in arrays]
+    dtype = np.result_type(*(dtype_of(a) for a in arrays))
+    base = list(shapes[0])
+    base[axis] = sum(s[axis] for s in shapes)
+    for s in shapes[1:]:
+        for i, (d0, d1) in enumerate(zip(shapes[0], s)):
+            if i != axis % len(base) and d0 != d1:
+                raise ValueError(f"concatenate: shapes {shapes} misaligned")
+    return SymbolicArray(tuple(base), dtype)
+
+
+@_implements(np.vstack)
+def _vstack(arrays, **kwargs):
+    shapes = [_as_2d_shape(a) for a in arrays]
+    dtype = np.result_type(*(dtype_of(a) for a in arrays))
+    ncols = shapes[0][1]
+    for s in shapes:
+        if s[1] != ncols:
+            raise ValueError(f"vstack: column counts disagree: {shapes}")
+    return SymbolicArray((sum(s[0] for s in shapes), ncols), dtype)
+
+
+@_implements(np.hstack)
+def _hstack(arrays, **kwargs):
+    shapes = [_shape_of(a) for a in arrays]
+    dtype = np.result_type(*(dtype_of(a) for a in arrays))
+    if len(shapes[0]) == 1:
+        return SymbolicArray((sum(s[0] for s in shapes),), dtype)
+    return SymbolicArray((shapes[0][0], sum(s[1] for s in shapes)), dtype)
+
+
+@_implements(np.triu)
+def _triu(x, k=0):
+    return SymbolicArray(_shape_of(x), dtype_of(x))
+
+
+@_implements(np.tril)
+def _tril(x, k=0):
+    return SymbolicArray(_shape_of(x), dtype_of(x))
+
+
+@_implements(np.diag)
+def _diag(x, k=0):
+    s = _shape_of(x)
+    if len(s) == 1:
+        n = s[0] + abs(k)
+        return SymbolicArray((n, n), dtype_of(x))
+    return SymbolicArray((max(min(s[0], s[1]) - abs(k), 0),), dtype_of(x))
+
+
+@_implements(np.zeros_like)
+def _zeros_like(x, dtype=None, **kwargs):
+    return SymbolicArray(_shape_of(x), dtype if dtype is not None else dtype_of(x))
+
+
+@_implements(np.empty_like)
+def _empty_like(x, dtype=None, **kwargs):
+    return SymbolicArray(_shape_of(x), dtype if dtype is not None else dtype_of(x))
+
+
+@_implements(np.ones_like)
+def _ones_like(x, dtype=None, **kwargs):
+    return SymbolicArray(_shape_of(x), dtype if dtype is not None else dtype_of(x))
+
+
+@_implements(np.ascontiguousarray)
+def _ascontiguousarray(x, dtype=None, **kwargs):
+    if dtype is not None:
+        return SymbolicArray(_shape_of(x), dtype)
+    return x if isinstance(x, SymbolicArray) else SymbolicArray.like(x)
+
+
+@_implements(np.reshape)
+def _reshape(x, shape, **kwargs):
+    return SymbolicArray(_shape_of(x), dtype_of(x)).reshape(shape)
+
+
+@_implements(np.outer)
+def _outer(a, b, **kwargs):
+    sa, sb = _shape_of(a), _shape_of(b)
+    dtype = np.result_type(dtype_of(a), dtype_of(b))
+    na = 1
+    for d in sa:
+        na *= d
+    nb = 1
+    for d in sb:
+        nb *= d
+    return SymbolicArray((na, nb), dtype)

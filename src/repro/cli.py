@@ -29,6 +29,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--P", type=int, required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-validate", action="store_true")
+    p.add_argument(
+        "--backend", choices=["numeric", "symbolic"], default="numeric",
+        help="symbolic = cost-only execution (no arithmetic, no validation); "
+             "enables paper-scale m/n/P sweeps",
+    )
 
 
 def _params_from(args) -> dict:
@@ -44,9 +49,17 @@ def _params_from(args) -> dict:
     return out
 
 
+def _make_input(args):
+    """Global input: a real matrix, or just its shape in symbolic mode."""
+    if args.backend == "symbolic":
+        return (args.m, args.n)
+    return gaussian(args.m, args.n, seed=args.seed)
+
+
 def cmd_run(args) -> int:
-    A = gaussian(args.m, args.n, seed=args.seed)
-    r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate, **_params_from(args))
+    A = _make_input(args)
+    r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
+               backend=args.backend, **_params_from(args))
     print(format_run_table([r.row()]))
     ph = r.words_by_phase()
     if ph["alltoall"] or ph["dmm"]:
@@ -61,14 +74,14 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    A = gaussian(args.m, args.n, seed=args.seed)
+    A = _make_input(args)
     values = []
     for tok in args.values.split(","):
         values.append(float(tok) if "." in tok else int(tok))
     rows = []
     for v in values:
         r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
-                   **{**_params_from(args), args.knob: v})
+                   backend=args.backend, **{**_params_from(args), args.knob: v})
         row = r.row()
         row[args.knob] = v
         for name in ("cluster", "cloud", "supercomputer"):

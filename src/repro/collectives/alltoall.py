@@ -20,12 +20,63 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.backend import asarray
 from repro.collectives.context import CommContext
-from repro.machine import MachineError, Meta
+from repro.machine import Counted, MachineError, words_of
 from repro.util import ilog2
 
 #: An item is (dest_group_rank, tag, array).  Tags are opaque to routing.
 Item = tuple[int, Any, np.ndarray]
+
+
+def _route_bundles(ctx: CommContext, holding: list[list[list]], words_idx: int, deliver) -> None:
+    """Radix-2 index routing of per-destination bundles (shared core).
+
+    ``holding[p]`` lists bundles at group rank ``p``; a bundle is a list
+    whose element 0 is the destination group rank and whose element
+    ``words_idx`` is its precomputed word count.  Each round ``i``
+    forwards to ``(p + 2^i) mod P`` every bundle whose remaining
+    distance has bit ``i`` set, one coalesced message per sender per
+    round.  ``deliver(rank, bundle)`` fires when a bundle reaches its
+    destination (pass ``None`` for cost-only routing).  Because all
+    bundles for one destination travel together, the charged messages,
+    words, and rounds are identical to routing the underlying items one
+    by one.
+    """
+    P = ctx.size
+    for i in range(ilog2(P)):
+        bit = 1 << i
+        # Decide every processor's outgoing set against the start-of-round
+        # state, then deliver the whole round simultaneously.
+        outgoing: list[list[list]] = []
+        for p in range(P):
+            go: list[list] = []
+            stay: list[list] = []
+            for b in holding[p]:
+                if ((b[0] - p) % P) & bit:
+                    go.append(b)
+                else:
+                    stay.append(b)
+            outgoing.append(go)
+            holding[p] = stay
+        round_plan = [
+            (p, (p + bit) % P, Counted(sum(b[words_idx] for b in outgoing[p])))
+            for p in range(P)
+            if outgoing[p]
+        ]
+        ctx.exchange_round(round_plan, label=f"alltoall_round{i}")
+        for p in range(P):
+            if not outgoing[p]:
+                continue
+            nxt = (p + bit) % P
+            for b in outgoing[p]:
+                if b[0] != nxt:
+                    holding[nxt].append(b)
+                elif deliver is not None:
+                    deliver(nxt, b)
+    for p in range(P):
+        if holding[p]:
+            raise MachineError("index all-to-all left undelivered bundles (internal error)")
 
 
 def all_to_all_index(
@@ -37,55 +88,86 @@ def all_to_all_index(
     initially held by group rank ``p``.  Returns ``received[q]``: the
     ``(tag, array)`` pairs delivered to ``q`` (self-addressed items are
     delivered without cost, in-place).
+
+    Items sharing a (current holder, destination) pair follow the exact
+    same route, so they are bundled once up front -- tags, arrays, and a
+    precomputed word count -- and every hop moves whole bundles
+    (:func:`_route_bundles`); only the per-hop Python bookkeeping
+    shrinks from O(blocks) to O(bundles).
     """
     P = ctx.size
     if len(items_by_rank) != P:
         raise MachineError(f"all_to_all needs {P} item lists, got {len(items_by_rank)}")
     received: list[list[tuple[Any, np.ndarray]]] = [[] for _ in range(P)]
-    # holding[p]: items currently at p and not yet home.
-    holding: list[list[Item]] = [[] for _ in range(P)]
+    # holding[p]: bundles [dest, tags, arrays, words] at p, not yet home.
+    holding: list[list[list]] = []
     for p in range(P):
+        buckets: dict[int, list] = {}
         for dest, tag, arr in items_by_rank[p]:
             if not (0 <= dest < P):
                 raise MachineError(f"destination {dest} out of range for group of size {P}")
             if dest == p:
                 received[p].append((tag, arr))
-            else:
-                holding[p].append((dest, tag, arr))
+                continue
+            b = buckets.get(dest)
+            if b is None:
+                b = buckets[dest] = [dest, [], [], 0]
+            b[1].append(tag)
+            b[2].append(arr)
+            b[3] += words_of(arr)
+        holding.append(list(buckets.values()))
 
     if P == 1:
         return received
 
-    for i in range(ilog2(P)):
-        bit = 1 << i
-        # Decide every processor's outgoing set against the start-of-round
-        # state, then deliver the whole round simultaneously.
-        outgoing: list[list[Item]] = []
-        for p in range(P):
-            go = [(d, t, a) for (d, t, a) in holding[p] if ((d - p) % P) & bit]
-            stay = [(d, t, a) for (d, t, a) in holding[p] if not ((d - p) % P) & bit]
-            outgoing.append(go)
-            holding[p] = stay
-        round_plan = [
-            (p, (p + bit) % P, [Meta([(d, t) for d, t, _ in outgoing[p]])] + [a for _, _, a in outgoing[p]])
-            for p in range(P)
-            if outgoing[p]
-        ]
-        ctx.exchange_round(round_plan, label=f"alltoall_round{i}")
-        for p in range(P):
-            if not outgoing[p]:
-                continue
-            nxt = (p + bit) % P
-            for d, t, a in outgoing[p]:
-                if d == nxt:
-                    received[nxt].append((t, a))
-                else:
-                    holding[nxt].append((d, t, a))
-
-    for p in range(P):
-        if holding[p]:
-            raise MachineError("index all-to-all left undelivered blocks (internal error)")
+    _route_bundles(
+        ctx, holding, 3, lambda nxt, b: received[nxt].extend(zip(b[1], b[2]))
+    )
     return received
+
+
+def _interval_add(vec: np.ndarray, start: int, count: int, value: int = 1) -> None:
+    """``vec[(start + i) % P] += value`` for ``i < count`` (wrapped)."""
+    if count <= 0:
+        return
+    P = vec.shape[0]
+    end = start + count
+    if end <= P:
+        vec[start:end] += value
+    else:
+        vec[start:] += value
+        vec[: end - P] += value
+
+
+def _interval_set(vec: np.ndarray, start: int, count: int) -> None:
+    """``vec[(start + i) % P] = True`` for ``i < count`` (wrapped)."""
+    if count <= 0:
+        return
+    P = vec.shape[0]
+    end = start + count
+    if end <= P:
+        vec[start:end] = True
+    else:
+        vec[start:] = True
+        vec[: end - P] = True
+
+
+def _route_pairs(
+    ctx: CommContext, pairs_by_source: dict[int, list[tuple[int, int]]]
+) -> None:
+    """Cost-only index all-to-all over unique ``(source, dest)`` bundles.
+
+    ``pairs_by_source[p]`` lists ``(dest, words)`` with distinct dests.
+    Charges exactly the rounds/messages/words the tagged
+    :func:`all_to_all_index` would for the same traffic.
+    """
+    P = ctx.size
+    holding: list[list[list]] = [[] for _ in range(P)]
+    for p, pairs in pairs_by_source.items():
+        for d, w in pairs:
+            if d != p:
+                holding[p].append([d, w])
+    _route_bundles(ctx, holding, 1, None)
 
 
 def all_to_all_two_phase(
@@ -94,11 +176,25 @@ def all_to_all_two_phase(
     """Two-phase load-balanced all-to-all ([HBJ96], paper Appendix A.3).
 
     Each source deals the elements of its block for destination ``q``
-    cyclically over intermediate processors starting at ``(p + q) mod P``;
-    two index all-to-alls route chunks to intermediates and then home,
-    where blocks are reassembled elementwise.  Balancing makes the
-    per-round message sizes depend on ``B*`` (row/column sums) rather
-    than on the largest single block.
+    cyclically over intermediate processors starting at ``(p + q) mod P``
+    -- the chunk for intermediate ``t`` holds elements ``e`` with
+    ``(p + q + e) % P == t`` -- then two index all-to-alls route chunks
+    to intermediates and home, where blocks are reassembled elementwise.
+    Balancing makes the per-round message sizes depend on ``B*``
+    (row/column sums of the traffic matrix) rather than on the largest
+    single block.
+
+    The reassembly reconstructs each block exactly (every dealt element
+    returns to its original flat position), so the simulation never
+    ships elements: each destination receives the source's array object
+    directly (the simulator's buffer-sharing convention), and only the
+    chunk *size* matrices are routed.  A block's chunk sizes over the
+    intermediates form a two-valued cyclic interval pattern
+    (``ceil(L/P)`` on ``rem = L mod P`` intermediates starting at
+    ``(p + q) mod P``, ``floor(L/P)`` elsewhere), so the per-phase
+    traffic matrices accumulate with O(1) numpy interval updates per
+    block.  The metered rounds, messages, and words are identical to
+    routing every chunk individually.
     """
     P = ctx.size
     if len(items_by_rank) != P:
@@ -106,49 +202,77 @@ def all_to_all_two_phase(
     if P == 1:
         return [[(tag, arr) for _dest, tag, arr in items_by_rank[0]]]
 
-    # Phase 0 (local): deal each item's flattened elements into P chunks.
-    # Chunk for intermediate t holds elements e with (p + q + e) % P == t,
-    # i.e. e = r0, r0+P, ... with r0 = (t - p - q) % P.
-    phase1_items: list[list[Item]] = [[] for _ in range(P)]
-    originals: dict[tuple[int, int, int], tuple[Any, tuple[int, ...], np.dtype]] = {}
+    # Traffic matrices, lazily allocated by active source / destination:
+    # phase 1 moves chunks p -> t (rows), phase 2 moves them t -> dest
+    # (columns).  Existence is tracked separately from word counts: an
+    # empty chunk bound for its destination still travels (and costs a
+    # message when it is the only content).
+    w1_rows: dict[int, np.ndarray] = {}
+    e1_rows: dict[int, np.ndarray] = {}
+    w2_cols: dict[int, np.ndarray] = {}
+    e2_cols: dict[int, np.ndarray] = {}
+    # received entries are keyed for the deterministic (p, serial) order.
+    pending: list[list[tuple[tuple[int, int], Any, np.ndarray]]] = [[] for _ in range(P)]
+
     for p in range(P):
-        for serial, (dest, tag, arr) in enumerate(items_by_rank[p]):
+        items = items_by_rank[p]
+        if not items:
+            continue
+        w1 = w1_rows.get(p)
+        if w1 is None:
+            w1 = w1_rows[p] = np.zeros(P, dtype=np.int64)
+            e1_rows[p] = np.zeros(P, dtype=bool)
+        e1 = e1_rows[p]
+        for serial, (dest, tag, arr) in enumerate(items):
             if not (0 <= dest < P):
                 raise MachineError(f"destination {dest} out of range for group of size {P}")
-            arr = np.asarray(arr)
-            originals[(p, dest, serial)] = (tag, arr.shape, arr.dtype)
-            flat = arr.reshape(-1)
-            for t in range(P):
-                r0 = (t - p - dest) % P
-                chunk = flat[r0::P]
-                if chunk.size == 0 and t != dest:
-                    continue  # nothing to route through this intermediate
-                phase1_items[p].append((t, ("tp", p, dest, serial, r0), chunk))
+            arr = asarray(arr)
+            pending[dest].append(((p, serial), tag, arr))
+            w2 = w2_cols.get(dest)
+            if w2 is None:
+                w2 = w2_cols[dest] = np.zeros(P, dtype=np.int64)
+                e2_cols[dest] = np.zeros(P, dtype=bool)
+            e2 = e2_cols[dest]
+            L = int(arr.size)
+            base = (p + dest) % P
+            if L >= P:
+                quo, rem = divmod(L, P)
+                w1 += quo
+                w2 += quo
+                _interval_add(w1, base, rem)
+                _interval_add(w2, base, rem)
+                e1[:] = True
+                e2[:] = True
+            else:
+                if L:
+                    _interval_add(w1, base, L)
+                    _interval_add(w2, base, L)
+                    _interval_set(e1, base, L)
+                    _interval_set(e2, base, L)
+                if (-p) % P >= L:  # dest's own chunk travels even when empty
+                    e1[dest] = True
 
-    mid = all_to_all_index(ctx, phase1_items)
+    # Phase 1: chunks to intermediates (rows of the traffic matrix).
+    phase1 = {
+        p: list(zip(np.flatnonzero(e1_rows[p]).tolist(), w1_rows[p][e1_rows[p]].tolist()))
+        for p in w1_rows
+    }
+    _route_pairs(ctx, phase1)
 
-    # Phase 2: forward every chunk from its intermediate to its true home.
-    phase2_items: list[list[Item]] = [[] for _ in range(P)]
-    for t in range(P):
-        for tag, chunk in mid[t]:
-            _kind, p, dest, serial, r0 = tag
-            phase2_items[t].append((dest, tag, chunk))
-    home = all_to_all_index(ctx, phase2_items)
+    # Phase 2: chunks home (columns, re-keyed by intermediate source).
+    phase2: dict[int, list[tuple[int, int]]] = {}
+    for dest, w2 in w2_cols.items():
+        e2 = e2_cols[dest]
+        for t, w in zip(np.flatnonzero(e2).tolist(), w2[e2].tolist()):
+            phase2.setdefault(t, []).append((dest, w))
+    _route_pairs(ctx, phase2)
 
-    # Reassemble at destinations.
+    # Delivery: every block's chunks are home; hand over the originals in
+    # deterministic (source rank, serial) order.
     received: list[list[tuple[Any, np.ndarray]]] = [[] for _ in range(P)]
     for q in range(P):
-        groups: dict[tuple[int, int, int], list[tuple[int, np.ndarray]]] = {}
-        for tag, chunk in home[q]:
-            _kind, p, dest, serial, r0 = tag
-            groups.setdefault((p, dest, serial), []).append((r0, chunk))
-        for key in sorted(groups):
-            user_tag, shape, dtype = originals[key]
-            total = int(np.prod(shape)) if shape else 1
-            out = np.empty(total, dtype=dtype)
-            for r0, chunk in groups[key]:
-                out[r0::P] = chunk
-            received[q].append((user_tag, out.reshape(shape)))
+        for _key, tag, arr in sorted(pending[q], key=lambda kv: kv[0]):
+            received[q].append((tag, arr))
     return received
 
 
@@ -169,7 +293,7 @@ def all_to_all_blocks(
             raise MachineError(f"blocks[{p}] has length {len(blocks[p])}, expected {P}")
         for q in range(P):
             if blocks[p][q] is not None:
-                items[p].append((q, p, np.asarray(blocks[p][q])))
+                items[p].append((q, p, asarray(blocks[p][q])))
     if method == "two_phase":
         received = all_to_all_two_phase(ctx, items)
     elif method == "index":

@@ -15,9 +15,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import asarray
 from repro.collectives import binomial
 from repro.collectives.context import CommContext
-from repro.machine import MachineError, Meta
+from repro.machine import Counted, MachineError, words_of
 from repro.util import balanced_partition, ceil_div
 
 
@@ -74,9 +75,11 @@ def reduce_scatter(
             if b not in seen_small:
                 plan.append((b, a, {q: state[b].pop(q) for q in sorted(set1) if q in state[b]}))
                 seen_small.add(b)
+        # Block identity is tracked in `plan`; the messages carry only the
+        # (identical) word counts, so each level costs one O(blocks) pass.
         ctx.exchange_round(
             [
-                (s, d, [Meta(sorted(send))] + [send[q] for q in sorted(send)])
+                (s, d, Counted(sum(words_of(blk) for blk in send.values())))
                 for s, d, send in plan
             ],
             label="reduce_scatter",
@@ -131,11 +134,11 @@ def all_gather(ctx: CommContext, blocks: Sequence[np.ndarray]) -> list[list[np.n
             else:
                 plan.append((b, a))
         snap = {m: dict(state[m]) for m in members}
+        words = {
+            s: sum(words_of(blk) for blk in snap[s].values()) for s in {s for s, _d in plan}
+        }
         ctx.exchange_round(
-            [
-                (s, d, [Meta(sorted(snap[s]))] + [snap[s][q] for q in sorted(snap[s])])
-                for s, d in plan
-            ],
+            [(s, d, Counted(words[s])) for s, d in plan],
             label="all_gather",
         )
         for s, d in plan:
@@ -156,7 +159,7 @@ def _split_array(value: np.ndarray, P: int) -> list[np.ndarray]:
 
 
 def _reassemble(pieces: Sequence[np.ndarray], shape: tuple[int, ...], dtype) -> np.ndarray:
-    out = np.concatenate([np.asarray(p).reshape(-1) for p in pieces]) if pieces else np.empty(0, dtype)
+    out = np.concatenate([asarray(p).reshape(-1) for p in pieces]) if pieces else np.empty(0, dtype)
     return out.reshape(shape)
 
 
@@ -167,7 +170,7 @@ def broadcast_bidirectional(ctx: CommContext, root: int, value: np.ndarray) -> n
     ``2B`` for ``B >> P`` -- in ``2 log P`` messages.  Returns the
     reassembled array (each rank conceptually holds a copy).
     """
-    value = np.asarray(value)
+    value = asarray(value)
     P = ctx.size
     pieces = _split_array(value, P)
     got = binomial.scatter(ctx, root, pieces)
@@ -181,9 +184,9 @@ def reduce_bidirectional(
 ) -> np.ndarray:
     """Reduce = reduce-scatter + gather (paper Eq. 21)."""
     P = ctx.size
-    shape = np.asarray(contributions[0]).shape
-    dtype = np.asarray(contributions[0]).dtype
-    per_rank = [_split_array(np.asarray(contributions[p]), P) for p in range(P)]
+    shape = asarray(contributions[0]).shape
+    dtype = asarray(contributions[0]).dtype
+    per_rank = [_split_array(asarray(contributions[p]), P) for p in range(P)]
     summed = reduce_scatter(ctx, per_rank)
     pieces = binomial.gather(ctx, root, summed)
     return _reassemble(pieces, shape, dtype)
@@ -194,9 +197,9 @@ def all_reduce_bidirectional(
 ) -> np.ndarray:
     """All-reduce = reduce-scatter + all-gather (paper Eq. 21)."""
     P = ctx.size
-    shape = np.asarray(contributions[0]).shape
-    dtype = np.asarray(contributions[0]).dtype
-    per_rank = [_split_array(np.asarray(contributions[p]), P) for p in range(P)]
+    shape = asarray(contributions[0]).shape
+    dtype = asarray(contributions[0]).dtype
+    per_rank = [_split_array(asarray(contributions[p]), P) for p in range(P)]
     summed = reduce_scatter(ctx, per_rank)
     everywhere = all_gather(ctx, summed)
     return _reassemble(everywhere[0], shape, dtype)

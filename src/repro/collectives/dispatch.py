@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import SymbolicArray, asarray
 from repro.collectives import bidirectional, binomial
 from repro.collectives.context import CommContext
 from repro.machine import words_of
@@ -34,14 +35,14 @@ def _prefer_bidirectional(P: int, B: int) -> bool:
 def broadcast(ctx: CommContext, root: int, value: np.ndarray) -> np.ndarray:
     """Broadcast with automatic variant choice (Table 1 broadcast row)."""
     B = words_of(value)
-    if isinstance(value, np.ndarray) and _prefer_bidirectional(ctx.size, B):
+    if isinstance(value, (np.ndarray, SymbolicArray)) and _prefer_bidirectional(ctx.size, B):
         return bidirectional.broadcast_bidirectional(ctx, root, value)
     return binomial.broadcast_binomial(ctx, root, value)
 
 
 def reduce(ctx: CommContext, root: int, contributions: Sequence[np.ndarray]) -> np.ndarray:
     """Reduce with automatic variant choice (Table 1 reduce row)."""
-    B = words_of(np.asarray(contributions[0]))
+    B = words_of(asarray(contributions[0]))
     if _prefer_bidirectional(ctx.size, B):
         return bidirectional.reduce_bidirectional(ctx, root, contributions)
     return binomial.reduce_binomial(ctx, root, contributions)
@@ -49,7 +50,7 @@ def reduce(ctx: CommContext, root: int, contributions: Sequence[np.ndarray]) -> 
 
 def all_reduce(ctx: CommContext, contributions: Sequence[np.ndarray]) -> np.ndarray:
     """All-reduce with automatic variant choice (Table 1 all-reduce row)."""
-    B = words_of(np.asarray(contributions[0]))
+    B = words_of(asarray(contributions[0]))
     if _prefer_bidirectional(ctx.size, B):
         return bidirectional.all_reduce_bidirectional(ctx, contributions)
     return binomial.all_reduce_binomial(ctx, contributions)

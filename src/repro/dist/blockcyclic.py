@@ -116,13 +116,15 @@ class BlockCyclic2D:
         if dtype is not None:
             self.dtype = np.dtype(dtype)
         elif blocks:
-            self.dtype = np.result_type(*blocks.values())
+            self.dtype = np.result_type(
+                *(machine.ops.asarray(b).dtype for b in blocks.values())
+            )
         else:
             self.dtype = np.dtype(np.float64)
 
         if blocks is None:
             self.blocks = {
-                (i, j): np.zeros(
+                (i, j): machine.ops.zeros(
                     (self._rows[i].size, self._cols[j].size), dtype=self.dtype
                 )
                 for i in range(pr)
@@ -134,7 +136,7 @@ class BlockCyclic2D:
                 for j in range(pc):
                     if (i, j) not in blocks:
                         raise DistributionError(f"missing local block for grid ({i}, {j})")
-                    blk = np.asarray(blocks[(i, j)])
+                    blk = machine.ops.asarray(blocks[(i, j)])
                     expect = (self._rows[i].size, self._cols[j].size)
                     if blk.shape != expect:
                         raise DistributionError(
@@ -206,7 +208,9 @@ class BlockCyclic2D:
         ranks: Sequence[int] | None = None,
     ) -> "BlockCyclic2D":
         """Distribute a global array block-cyclically (free: harness-side)."""
-        A = np.asarray(A)
+        from repro.backend import asarray as _backend_asarray
+
+        A = _backend_asarray(A)
         if A.ndim != 2:
             raise DistributionError(f"expected a 2-D array, got shape {A.shape}")
         m, n = A.shape
@@ -225,7 +229,7 @@ class BlockCyclic2D:
 
     def to_global(self) -> np.ndarray:
         """Assemble the global array (free: harness-side, debug/validation)."""
-        out = np.zeros((self.m, self.n), dtype=self.dtype)
+        out = self.machine.ops.zeros((self.m, self.n), dtype=self.dtype)
         for i in range(self.pr):
             for j in range(self.pc):
                 out[np.ix_(self._rows[i], self._cols[j])] = self.blocks[(i, j)]

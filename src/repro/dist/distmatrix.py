@@ -72,7 +72,10 @@ class DistMatrix:
         for p in parts:
             if p not in blocks:
                 raise DistributionError(f"missing local block for rank {p}")
-            blk = np.asarray(blocks[p])
+            # Backend coercion: on a symbolic machine real blocks collapse
+            # to shape-only stand-ins; on a numeric machine symbolic
+            # blocks are rejected.
+            blk = machine.ops.asarray(blocks[p])
             expect = (layout.count(p), ncols)
             if blk.shape != expect:
                 raise DistributionError(
@@ -85,7 +88,7 @@ class DistMatrix:
         if dtype is not None:
             self.dtype = np.dtype(dtype)
         elif checked:
-            self.dtype = np.result_type(*checked.values())
+            self.dtype = np.result_type(*(b.dtype for b in checked.values()))
         else:
             self.dtype = np.dtype(np.float64)
         # Blocks and declared dtype must agree (to_global/gather allocate
@@ -124,7 +127,9 @@ class DistMatrix:
         no simulated communication is charged.  Blocks are copies, so
         later mutation of ``A`` does not alias the distributed matrix.
         """
-        A = np.asarray(A)
+        from repro.backend import asarray as _backend_asarray
+
+        A = _backend_asarray(A)
         if A.ndim != 2:
             raise DistributionError(f"expected a 2-D array, got shape {A.shape}")
         if A.shape[0] != layout.m:
@@ -145,7 +150,7 @@ class DistMatrix:
         """All-zero distributed matrix (free: harness-side allocation)."""
         dt = np.dtype(dtype)
         blocks = {
-            p: np.zeros((layout.count(p), int(ncols)), dtype=dt)
+            p: machine.ops.zeros((layout.count(p), int(ncols)), dtype=dt)
             for p in layout.participants()
         }
         return cls(machine, layout, ncols, blocks, dtype=dt)
@@ -155,9 +160,10 @@ class DistMatrix:
 
         Algorithms must not use this to move data -- it is the harness
         reading results out of the machine.  For a metered gather, use
-        :meth:`gather_to_root`.
+        :meth:`gather_to_root`.  On a symbolic machine the result is a
+        shape-only stand-in (there are no values to assemble).
         """
-        out = np.zeros(self.shape, dtype=self.dtype)
+        out = self.machine.ops.zeros(self.shape, dtype=self.dtype)
         for p, blk in self.blocks.items():
             out[self.layout.rows_of(p), :] = blk
         return out
@@ -190,7 +196,7 @@ class DistMatrix:
     def set_local(self, p: int, block: np.ndarray) -> None:
         """Replace rank ``p``'s local block (shape-checked)."""
         self._check_owner(p)
-        block = np.asarray(block)
+        block = self.machine.ops.asarray(block)
         expect = (self.layout.count(p), self.n)
         if block.shape != expect:
             raise DistributionError(
@@ -217,7 +223,7 @@ class DistMatrix:
         if len(ranks) > 1:
             ctx = CommContext(self.machine, ranks)
             pieces = gather(ctx, ranks.index(root), pieces)
-        out = np.zeros(self.shape, dtype=self.dtype)
+        out = self.machine.ops.zeros(self.shape, dtype=self.dtype)
         for r, piece in zip(ranks, pieces):
             if piece is not None and self.layout.count(r):
                 out[self.layout.rows_of(r), :] = piece

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ascontiguousarray
 from repro.collectives import CommContext
 from repro.collectives.alltoall import Item, all_to_all_index, all_to_all_two_phase
 from repro.dist.distmatrix import DistMatrix
@@ -82,7 +83,7 @@ def redistribute_rows(
         for t in np.unique(dests):
             sel = dests == t
             items[g[p]].append(
-                (g[int(t)], ("rows", rows[sel]), np.ascontiguousarray(blk[sel, :]))
+                (g[int(t)], ("rows", rows[sel]), ascontiguousarray(blk[sel, :]))
             )
 
     run = all_to_all_two_phase if method == "two_phase" else all_to_all_index
@@ -91,7 +92,7 @@ def redistribute_rows(
     out_blocks: dict[int, np.ndarray] = {}
     for t in new_layout.participants():
         rows_t = new_layout.rows_of(t)
-        out = np.zeros((rows_t.size, n), dtype=A.dtype)
+        out = machine.ops.zeros((rows_t.size, n), dtype=A.dtype)
         for tag, arr in received[g[t]]:
             _kind, sub_rows = tag
             out[np.searchsorted(rows_t, sub_rows), :] = arr.reshape(sub_rows.size, n)

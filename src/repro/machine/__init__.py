@@ -20,7 +20,7 @@ from repro.machine.exceptions import (
     ParameterError,
     ReproError,
 )
-from repro.machine.machine import Machine, Meta, transfer_list, words_of
+from repro.machine.machine import Counted, Machine, Meta, transfer_list, words_of
 from repro.machine.tracing import Trace, TraceEvent
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "MACHINE_PROFILES",
     "ClockSet",
     "CostParams",
+    "Counted",
     "CostReport",
     "DistributionError",
     "Machine",

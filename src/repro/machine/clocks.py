@@ -18,32 +18,42 @@ send.  Because max-plus propagation per metric is exactly a longest-path
 computation, each metric's clock is exact -- not an approximation -- and
 different metrics may be realized by different paths, matching the way
 the paper states independent per-metric bounds.
+
+Storage is one plain Python float per (metric, processor): the machine
+charges millions of point-to-point messages in a large symbolic sweep,
+and scalar float updates are several times cheaper than small-numpy
+column arithmetic, which used to dominate cost-only wall-clock.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-#: Index order of the tracked metrics inside the clock matrix.
+#: Index order of the tracked metrics inside a clock snapshot.
 METRICS = ("flops", "words", "messages", "time")
-_F, _W, _S, _T = 0, 1, 2, 3
 
 
 class ClockSet:
-    """Vector of max-plus clocks, one row per metric, one column per processor.
+    """Max-plus clocks: one float per metric per processor.
 
-    The ``time`` row carries combined weights ``gamma*F + beta*W + alpha*S``
-    so its longest path is the modeled runtime for the machine's
-    :class:`~repro.machine.cost_model.CostParams`.
+    The ``time`` metric carries combined weights
+    ``gamma*F + beta*W + alpha*S`` so its longest path is the modeled
+    runtime for the machine's
+    :class:`~repro.machine.cost_model.CostParams`.  Snapshots (the value
+    :meth:`send` returns and :meth:`recv`/:meth:`join` consume) are
+    plain tuples -- immutable, so no defensive copy is ever needed.
     """
 
-    __slots__ = ("P", "clocks", "_alpha", "_beta", "_gamma")
+    __slots__ = ("P", "_f", "_w", "_s", "_t", "_alpha", "_beta", "_gamma")
 
     def __init__(self, P: int, alpha: float, beta: float, gamma: float) -> None:
         if P < 1:
             raise ValueError(f"ClockSet requires P >= 1, got {P}")
         self.P = P
-        self.clocks = np.zeros((len(METRICS), P), dtype=np.float64)
+        self._f = [0.0] * P
+        self._w = [0.0] * P
+        self._s = [0.0] * P
+        self._t = [0.0] * P
         self._alpha = alpha
         self._beta = beta
         self._gamma = gamma
@@ -53,56 +63,66 @@ class ClockSet:
     # ------------------------------------------------------------------
     def local_compute(self, p: int, flops: float) -> None:
         """Charge ``flops`` arithmetic operations to processor ``p``."""
-        self.clocks[_F, p] += flops
-        self.clocks[_T, p] += self._gamma * flops
+        self._f[p] += flops
+        self._t[p] += self._gamma * flops
 
-    def send(self, p: int, words: float) -> np.ndarray:
+    def send(self, p: int, words: float) -> tuple[float, float, float, float]:
         """Charge a send of ``words`` words on ``p``; return the post-send clock.
 
-        The returned vector (a copy) is the sender-side clock value that
-        the matching :meth:`recv` must join against.
+        The returned tuple is the sender-side clock value that the
+        matching :meth:`recv` must join against.
         """
-        self.clocks[_W, p] += words
-        self.clocks[_S, p] += 1.0
-        self.clocks[_T, p] += self._alpha + self._beta * words
-        return self.clocks[:, p].copy()
+        f = self._f[p]
+        w = self._w[p] = self._w[p] + words
+        s = self._s[p] = self._s[p] + 1.0
+        t = self._t[p] = self._t[p] + self._alpha + self._beta * words
+        return (f, w, s, t)
 
-    def recv(self, q: int, words: float, sender_clock: np.ndarray) -> None:
+    def recv(self, q: int, words: float, sender_clock) -> None:
         """Charge a receive of ``words`` on ``q``, joined with the sender's clock."""
-        col = self.clocks[:, q]
-        np.maximum(col, sender_clock, out=col)
-        col[_W] += words
-        col[_S] += 1.0
-        col[_T] += self._alpha + self._beta * words
+        sf, sw, ss, st = sender_clock
+        f, w, s, t = self._f[q], self._w[q], self._s[q], self._t[q]
+        self._f[q] = sf if sf > f else f
+        self._w[q] = (sw if sw > w else w) + words
+        self._s[q] = (ss if ss > s else s) + 1.0
+        self._t[q] = (st if st > t else t) + self._alpha + self._beta * words
 
-    def join(self, q: int, other_clock: np.ndarray) -> None:
+    def join(self, q: int, other_clock) -> None:
         """Synchronize ``q`` with an externally captured clock (no cost).
 
         Used for zero-cost ordering dependencies (e.g. a processor reusing
         a buffer only after its previous transfer logically completed).
         """
-        col = self.clocks[:, q]
-        np.maximum(col, other_clock, out=col)
+        of, ow, os_, ot = other_clock
+        if of > self._f[q]:
+            self._f[q] = of
+        if ow > self._w[q]:
+            self._w[q] = ow
+        if os_ > self._s[q]:
+            self._s[q] = os_
+        if ot > self._t[q]:
+            self._t[q] = ot
 
-    def snapshot(self, p: int) -> np.ndarray:
-        """Copy of processor ``p``'s clock vector."""
-        return self.clocks[:, p].copy()
+    def snapshot(self, p: int) -> tuple[float, float, float, float]:
+        """Processor ``p``'s clock vector, in :data:`METRICS` order."""
+        return (self._f[p], self._w[p], self._s[p], self._t[p])
 
     # ------------------------------------------------------------------
     # Reading results
     # ------------------------------------------------------------------
-    def critical(self, metric: str) -> float:
-        """Longest-path cost for ``metric`` over all processors."""
+    def _row(self, metric: str) -> list[float]:
         try:
-            idx = METRICS.index(metric)
+            return (self._f, self._w, self._s, self._t)[METRICS.index(metric)]
         except ValueError:
             raise KeyError(f"unknown metric {metric!r}; expected one of {METRICS}") from None
-        return float(self.clocks[idx].max(initial=0.0))
+
+    def critical(self, metric: str) -> float:
+        """Longest-path cost for ``metric`` over all processors."""
+        return max(max(self._row(metric)), 0.0)
 
     def per_processor(self, metric: str) -> np.ndarray:
         """Per-processor longest-path costs for ``metric`` (copy)."""
-        idx = METRICS.index(metric)
-        return self.clocks[idx].copy()
+        return np.array(self._row(metric), dtype=np.float64)
 
     def barrier(self) -> None:
         """Join all processors' clocks (used to sequence independent phases).
@@ -113,5 +133,6 @@ class ClockSet:
         never rely on this method for correctness of their cost claims --
         it exists for benchmarks that time phases separately.
         """
-        row_max = self.clocks.max(axis=1, keepdims=True)
-        self.clocks[:] = row_max
+        for row in (self._f, self._w, self._s, self._t):
+            peak = max(row)
+            row[:] = [peak] * self.P

@@ -77,7 +77,8 @@ class CostReport:
     the paper states per-metric bounds.
 
     ``total_*`` are sums over all processors (volume, not critical path),
-    useful for sanity checks and for energy-style accounting.
+    useful for sanity checks and for energy-style accounting.  Words and
+    messages are discrete events, so their totals are exact integers.
     """
 
     processors: int
@@ -85,8 +86,8 @@ class CostReport:
     critical_words: float
     critical_messages: float
     total_flops: float
-    total_words_sent: float
-    total_messages_sent: float
+    total_words_sent: int
+    total_messages_sent: int
     #: Longest path with combined weight gamma*F + beta*W + alpha*S under
     #: the CostParams the machine was constructed with.
     modeled_time: float = 0.0
@@ -112,8 +113,8 @@ class CostReport:
             "words": self.critical_words,
             "messages": self.critical_messages,
             "total_flops": self.total_flops,
-            "total_words": self.total_words_sent,
-            "total_messages": self.total_messages_sent,
+            "total_words": int(self.total_words_sent),
+            "total_messages": int(self.total_messages_sent),
             "modeled_time": self.modeled_time,
         }
 

@@ -20,6 +20,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.backend import SymbolicArray, get_ops
 from repro.machine.clocks import ClockSet
 from repro.machine.cost_model import CostParams, CostReport
 from repro.machine.exceptions import MachineError
@@ -43,6 +44,26 @@ class Meta:
         return f"Meta({self.value!r})"
 
 
+class Counted:
+    """A message payload with a precomputed word count.
+
+    Collectives that track block identity out-of-band (the all-to-alls,
+    whose in-flight blocks live in per-processor holding lists) use this
+    to avoid re-assembling a list of every array on every hop just so
+    :func:`words_of` can re-count it.  The charged cost is identical to
+    sending the blocks themselves; only the Python-side bookkeeping is
+    cheaper.
+    """
+
+    __slots__ = ("words",)
+
+    def __init__(self, words: int) -> None:
+        self.words = int(words)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counted({self.words})"
+
+
 def words_of(payload: Any) -> int:
     """Number of words in a message payload.
 
@@ -53,12 +74,25 @@ def words_of(payload: Any) -> int:
     """
     if payload is None or isinstance(payload, Meta):
         return 0
-    if isinstance(payload, np.ndarray):
+    if isinstance(payload, (np.ndarray, SymbolicArray)):
         return int(payload.size)
+    if isinstance(payload, Counted):
+        return payload.words
     if isinstance(payload, (int, float, complex, np.generic)):
         return 1
     if isinstance(payload, (list, tuple)):
-        return sum(words_of(item) for item in payload)
+        # Fast path: collectives mostly send `[Meta, array, array, ...]`
+        # lists, so short-circuit the recursion for those items.
+        total = 0
+        for item in payload:
+            cls = item.__class__
+            if cls is np.ndarray or cls is SymbolicArray:
+                total += item.size
+            elif cls is Meta:
+                continue
+            else:
+                total += words_of(item)
+        return int(total)
     if isinstance(payload, dict):
         return sum(words_of(v) for v in payload.values())
     raise MachineError(f"cannot count words of payload type {type(payload).__name__}")
@@ -79,24 +113,43 @@ class Machine:
         If true, record every task in a :class:`~repro.machine.tracing.Trace`
         (used by tests to verify the clocks against an offline longest
         path; adds overhead).
+    backend:
+        ``"numeric"`` (default) runs real numpy arithmetic; ``"symbolic"``
+        runs the identical task stream over shape-only
+        :class:`~repro.backend.SymbolicArray` data, producing a
+        byte-identical :class:`CostReport` without doing any flops --
+        the mode benchmark sweeps use at paper-scale ``P``.
     """
 
-    def __init__(self, P: int, params: CostParams | None = None, trace: bool = False) -> None:
+    def __init__(
+        self,
+        P: int,
+        params: CostParams | None = None,
+        trace: bool = False,
+        backend: str = "numeric",
+    ) -> None:
         if P < 1:
             raise MachineError(f"Machine requires P >= 1, got {P}")
         self.P = P
         self.params = params if params is not None else CostParams()
+        self.ops = get_ops(backend)
+        self.backend = backend
         self.clocks = ClockSet(P, self.params.alpha, self.params.beta, self.params.gamma)
         self.trace: Trace | None = Trace() if trace else None
         # Aggregate (volume) counters; sends only, so volume counts each
-        # word moved once.
+        # word moved once.  Words and messages are exact integers.
         self.total_flops = 0.0
-        self.total_words_sent = 0.0
-        self.total_messages_sent = 0.0
+        self.total_words_sent = 0
+        self.total_messages_sent = 0
         #: Word volume per transfer label -- lets benchmarks decompose an
         #: algorithm's traffic into phases (e.g. dmm-internal collectives
         #: vs all-to-all redistributions in 3d-caqr-eg).
-        self.words_by_label: dict[str, float] = {}
+        self.words_by_label: dict[str, int] = {}
+
+    @property
+    def symbolic(self) -> bool:
+        """True when this machine executes in cost-only symbolic mode."""
+        return self.ops.symbolic
 
     # ------------------------------------------------------------------
     # Validation helpers
@@ -146,7 +199,7 @@ class Machine:
         self.total_words_sent += w
         self.total_messages_sent += 1
         key = label or "unlabeled"
-        self.words_by_label[key] = self.words_by_label.get(key, 0.0) + w
+        self.words_by_label[key] = self.words_by_label.get(key, 0) + w
         if self.trace is not None:
             self.trace.append("recv", dst, peer=src, words=w, match=send_idx, label=label)
         return payload
@@ -167,29 +220,29 @@ class Machine:
         Returns the payloads in input order.
         """
         staged = []
+        clocks = self.clocks
         for src, dst, payload in transfers:
             self._check_rank(src)
             self._check_rank(dst)
             if src == dst:
-                staged.append(None)
                 continue
             w = words_of(payload)
-            snap = self.clocks.send(src, w)
+            snap = clocks.send(src, w)
             send_idx = -1
             if self.trace is not None:
                 send_idx = self.trace.append("send", src, peer=dst, words=w, label=label)
             staged.append((dst, src, w, snap, send_idx))
         key = label or "unlabeled"
-        for item in staged:
-            if item is None:
-                continue
-            dst, src, w, snap, send_idx = item
-            self.clocks.recv(dst, w, snap)
-            self.total_words_sent += w
-            self.total_messages_sent += 1
-            self.words_by_label[key] = self.words_by_label.get(key, 0.0) + w
+        round_words = 0
+        for dst, src, w, snap, send_idx in staged:
+            clocks.recv(dst, w, snap)
+            round_words += w
             if self.trace is not None:
                 self.trace.append("recv", dst, peer=src, words=w, match=send_idx, label=label)
+        self.total_words_sent += round_words
+        self.total_messages_sent += len(staged)
+        if staged:
+            self.words_by_label[key] = self.words_by_label.get(key, 0) + round_words
         return [payload for _src, _dst, payload in transfers]
 
     def barrier(self) -> None:
@@ -236,8 +289,8 @@ class Machine:
         """Zero all clocks and counters (reuse the machine across runs)."""
         self.clocks = ClockSet(self.P, self.params.alpha, self.params.beta, self.params.gamma)
         self.total_flops = 0.0
-        self.total_words_sent = 0.0
-        self.total_messages_sent = 0.0
+        self.total_words_sent = 0
+        self.total_messages_sent = 0
         self.words_by_label = {}
         if self.trace is not None:
             self.trace = Trace(self.trace.max_events)

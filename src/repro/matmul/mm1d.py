@@ -51,7 +51,7 @@ def mm1d_reduce(
         if r in A.blocks and A.layout.count(r) > 0:
             partials.append(local_mm(machine, r, A.local(r), B.local(r), conj_a=conj_a, label="mm1d_partial"))
         else:
-            partials.append(np.zeros((I, J), dtype=dtype))
+            partials.append(machine.ops.zeros((I, J), dtype=dtype))
     if len(ranks) == 1:
         return partials[0]
     return reduce(ctx, ranks.index(root), partials)
@@ -67,7 +67,7 @@ def mm1d_broadcast(
     multiplies locally.
     """
     machine = A.machine
-    B_root = np.asarray(B_root)
+    B_root = machine.ops.asarray(B_root)
     if B_root.shape[0] != A.n:
         raise DistributionError(
             f"inner dimensions disagree: A is {A.shape}, B is {B_root.shape}"

@@ -123,12 +123,12 @@ def mm3d(
         for s in range(S):
             L = len(Iparts[q]) * len(Kparts[s])
             for r, sp in enumerate(balanced_partition(L, R)):
-                buffers[("A", q, s, r)] = np.zeros(len(sp), dtype=dtype)
+                buffers[("A", q, s, r)] = machine.ops.zeros(len(sp), dtype=dtype)
     for s in range(S):
         for r in range(R):
             L = len(Kparts[s]) * len(Jparts[r])
             for q, sp in enumerate(balanced_partition(L, Q)):
-                buffers[("B", s, r, q)] = np.zeros(len(sp), dtype=dtype)
+                buffers[("B", s, r, q)] = machine.ops.zeros(len(sp), dtype=dtype)
 
     for gr_rank in range(ctx.size):
         for tag, values in received[gr_rank]:
@@ -191,9 +191,9 @@ def mm3d(
             if S > 1:
                 fiber = grid.fiber_s(q, r)
                 fx = CommContext(machine, fiber)
+                flats = [Z[(q, r, s)].reshape(-1) for s in range(S)]
                 per_rank = [
-                    [Z[(q, r, s)].reshape(-1)[sp.start : sp.stop] for sp in splits]
-                    for s in range(S)
+                    [flat[sp.start : sp.stop] for sp in splits] for flat in flats
                 ]
                 summed = reduce_scatter(fx, per_rank)
                 for s in range(S):
@@ -233,7 +233,8 @@ def mm3d(
     received2 = _run_alltoall(ctx, items2, method)
 
     out_blocks: dict[int, np.ndarray] = {
-        t: np.zeros((out_layout.count(t), J), dtype=dtype) for t in out_layout.participants()
+        t: machine.ops.zeros((out_layout.count(t), J), dtype=dtype)
+        for t in out_layout.participants()
     }
     for t in out_layout.participants():
         rows_t = out_layout.rows_of(t)

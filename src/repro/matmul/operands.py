@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ascontiguousarray
 from repro.dist import DistMatrix
 from repro.machine import DistributionError
 
@@ -83,7 +84,7 @@ class Operand:
             vals = vals.conj()
         vals = vals.T  # (nrows, ncols_owned), row-major matches positions
         positions = (np.arange(len(rows))[:, None] * W + kk[None, :]).reshape(-1)
-        return positions, np.ascontiguousarray(vals).reshape(-1)
+        return positions, ascontiguousarray(vals).reshape(-1)
 
     def materialize(self) -> np.ndarray:
         """Global operand in multiplication coordinates (debug only; free)."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import solve_triangular
 from repro.dist import DistMatrix, head_layout
 from repro.machine import DistributionError
 from repro.matmul import Operand, local_mm, mm1d_broadcast, mm1d_reduce, mm3d
@@ -94,7 +95,7 @@ def form_q_1d(V: DistMatrix, T: np.ndarray, root: int, n_cols: int | None = None
     blocks = {}
     for p in V.layout.participants():
         rows = V.layout.rows_of(p)
-        E = np.zeros((rows.size, k), dtype=V.dtype)
+        E = machine.ops.zeros((rows.size, k), dtype=V.dtype)
         local_diag = np.flatnonzero(rows < k)
         E[local_diag, rows[local_diag]] = 1.0
         blocks[p] = E
@@ -110,14 +111,12 @@ def solve_least_squares(
     ``y = (Q^H b)[:n]`` via :func:`apply_q_1d`, then a triangular solve
     on the root.  Returns ``x`` (``n x k``) held by the root.
     """
-    import scipy.linalg
-
     machine = V.machine
     n = V.n
     y = apply_q_1d(V, T, b, root, adjoint=True)
     # The leading n rows of y live in the root's leading local rows
     # (tsqr's distribution contract guarantees the root owns them).
     y_top = y.local(root)[:n]
-    x = scipy.linalg.solve_triangular(R, y_top, lower=False)
+    x = solve_triangular(R, y_top, lower=False)
     machine.compute(root, float(n) * n * y_top.shape[1], label="ls_backsolve")
     return x

@@ -63,7 +63,7 @@ def _panel_factor_tsqr(
     lay = ExplicitRowLayout(owners)
     for rank in lay.participants():
         rows = lay.rows_of(rank)
-        blk = np.empty((rows.size, w), dtype=A_bc.dtype)
+        blk = machine.ops.empty((rows.size, w), dtype=A_bc.dtype)
         for i in range(A_bc.pr):
             src_rank = root_rank if (A_bc.rank(i, jcol) != root_rank and counts[i] < w) else A_bc.rank(i, jcol)
             if src_rank != rank or counts[i] == 0:
@@ -129,12 +129,12 @@ def qr_caqr_2d(
     if A is None:
         if machine is None or A_global is None:
             raise ParameterError("provide a BlockCyclic2D or (machine, A_global)")
-        m, n = np.asarray(A_global).shape
+        m, n = np.shape(A_global)
         if pr is None or pc is None:
             pr, pc = choose_grid_2d(m, n, machine.P)
         if bb is None:
             bb = max(1, min(n, round(n / max((n * machine.P / m) ** 0.5, 1.0))))
-        A = BlockCyclic2D.from_global(machine, np.asarray(A_global), pr, pc, bb)
+        A = BlockCyclic2D.from_global(machine, A_global, pr, pc, bb)
     m, n = A.m, A.n
     if m < n:
         raise ParameterError(f"qr_caqr_2d requires m >= n, got ({m}, {n})")

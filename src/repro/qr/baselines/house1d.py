@@ -17,8 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.linalg
 
+from repro.backend import SymbolicArray, solve_triangular
 from repro.collectives import CommContext, all_reduce_binomial
 from repro.dist import DistMatrix
 
@@ -44,8 +44,9 @@ def qr_house_1d(A: DistMatrix, root: int = 0) -> House1DResult:
     ctx = CommContext(machine, parts)
     dtype = np.result_type(A.dtype, np.float64)
 
+    symbolic = machine.symbolic
     work = {p: A.local(p).astype(dtype, copy=True) for p in parts}
-    V = {p: np.zeros((A.layout.count(p), n), dtype=dtype) for p in parts}
+    V = {p: machine.ops.zeros((A.layout.count(p), n), dtype=dtype) for p in parts}
     rows = {p: A.layout.rows_of(p) for p in parts}
     taus = np.zeros(n, dtype=dtype)
 
@@ -55,13 +56,20 @@ def qr_house_1d(A: DistMatrix, root: int = 0) -> House1DResult:
         for p in parts:
             below = rows[p] >= j
             x = work[p][below, j]
-            alpha = work[p][rows[p] == j, j]
-            normsq = np.vdot(x, x).real - (np.vdot(alpha, alpha).real if alpha.size else 0.0)
-            contribs.append(np.array([alpha[0] if alpha.size else 0.0, normsq], dtype=dtype))
+            if symbolic:
+                contribs.append(SymbolicArray((2,), dtype))
+            else:
+                alpha = work[p][rows[p] == j, j]
+                normsq = np.vdot(x, x).real - (np.vdot(alpha, alpha).real if alpha.size else 0.0)
+                contribs.append(np.array([alpha[0] if alpha.size else 0.0, normsq], dtype=dtype))
             machine.compute(p, 2.0 * x.size, label="house1d_norm")
         stat = all_reduce_binomial(ctx, contribs)
-        alpha = stat[0]
-        xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
+        if symbolic:
+            # Cost-only mode assumes generic data: every column reflects.
+            alpha, xnorm = 1.0, 1.0
+        else:
+            alpha = stat[0]
+            xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
 
         if xnorm == 0.0 and alpha == 0.0:
             taus[j] = 0.0
@@ -102,7 +110,7 @@ def qr_house_1d(A: DistMatrix, root: int = 0) -> House1DResult:
     # T on the root from the Gram matrix (one reduce, Puglisi formula).
     G = mm1d_reduce(Vd, Vd, root, conj_a=True)
     Tinv = np.triu(G, 1) + np.diag(np.diag(G).real) / 2.0
-    T = scipy.linalg.solve_triangular(Tinv, np.eye(n, dtype=dtype), lower=False)
+    T = solve_triangular(Tinv, machine.ops.eye(n, dtype=dtype), lower=False)
     machine.compute(root, float(n) ** 3 / 3.0, label="house1d_T")
 
     # Gather R's rows (all held within the leading n rows, on the root

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import SymbolicArray
 from repro.collectives import CommContext, all_reduce_binomial
 from repro.dist.blockcyclic import BlockCyclic2D, choose_grid_2d
 from repro.machine import ParameterError
@@ -61,6 +62,7 @@ def _panel_factor_house(
     zeros), which is why blocked d-house has no corner cases.
     """
     machine = A_bc.machine
+    symbolic = machine.symbolic
     jcol = A_bc.pcol_of(j0)
     colg = A_bc.col_group(jcol)
     ctx = CommContext(machine, colg) if A_bc.pr > 1 else None
@@ -78,13 +80,20 @@ def _panel_factor_house(
             below = rows >= g
             sels[i] = below
             x = A_bc.blocks[(i, jcol)][below, col_idx]
-            diag = A_bc.blocks[(i, jcol)][rows == g, col_idx]
-            normsq = np.vdot(x, x).real - (np.vdot(diag, diag).real if diag.size else 0.0)
-            contribs.append(np.array([diag[0] if diag.size else 0.0, normsq], dtype=dtype))
+            if symbolic:
+                contribs.append(SymbolicArray((2,), dtype))
+            else:
+                diag = A_bc.blocks[(i, jcol)][rows == g, col_idx]
+                normsq = np.vdot(x, x).real - (np.vdot(diag, diag).real if diag.size else 0.0)
+                contribs.append(np.array([diag[0] if diag.size else 0.0, normsq], dtype=dtype))
             machine.compute(A_bc.rank(i, jcol), 2.0 * x.size, label="house2d_norm")
         stat = all_reduce_binomial(ctx, contribs) if ctx else contribs[0]
-        alpha = stat[0]
-        xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
+        if symbolic:
+            # Cost-only mode assumes generic data: every column reflects.
+            alpha, xnorm = 1.0, 1.0
+        else:
+            alpha = stat[0]
+            xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
         if xnorm == 0.0 and alpha == 0.0:
             continue
         from repro.qr.householder import sgn
@@ -141,10 +150,10 @@ def qr_house_2d(
     if A is None:
         if machine is None or A_global is None:
             raise ParameterError("provide a BlockCyclic2D or (machine, A_global)")
-        m, n = A_global.shape
+        m, n = np.shape(A_global)
         if pr is None or pc is None:
             pr, pc = choose_grid_2d(m, n, machine.P)
-        A = BlockCyclic2D.from_global(machine, np.asarray(A_global), pr, pc, bb)
+        A = BlockCyclic2D.from_global(machine, A_global, pr, pc, bb)
     m, n = A.m, A.n
     if m < n:
         raise ParameterError(f"qr_house_2d requires m >= n, got ({m}, {n})")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import solve_triangular
 from repro.collectives import CommContext, all_reduce, broadcast
 from repro.dist.blockcyclic import BlockCyclic2D
 from repro.machine import Machine
@@ -113,8 +114,6 @@ def gram_t_panel(
     Puglisi formula locally -- ``O(w^2 log pr)`` words, ``O(w^3)``
     redundant flops, the standard trade for avoiding a later broadcast.
     """
-    import scipy.linalg
-
     w = next(iter(Vrow.values())).shape[1]
     partials = []
     for i in range(A_bc.pr):
@@ -127,7 +126,7 @@ def gram_t_panel(
     else:
         G = partials[0]
     Tinv = np.triu(G, 1) + np.diag(np.diag(G).real) / 2.0
-    T = scipy.linalg.solve_triangular(Tinv, np.eye(w, dtype=G.dtype), lower=False)
+    T = solve_triangular(Tinv, machine.ops.eye(w, dtype=G.dtype), lower=False)
     for i in range(A_bc.pr):
         machine.compute(A_bc.rank(i, jcol), float(w) ** 3 / 3.0, label="panel_T")
     return T

@@ -112,7 +112,7 @@ def _rec(A: DistMatrix, root: int, b: int) -> tuple[DistMatrix, np.ndarray, np.n
     V_blocks = {}
     for p in A.layout.participants():
         rows = A.layout.rows_of(p)
-        blk = np.zeros((rows.size, n), dtype=VL.dtype)
+        blk = machine.ops.zeros((rows.size, n), dtype=VL.dtype)
         blk[:, :n2] = VL.local(p)
         keep = rows >= n2
         if keep.any():
@@ -132,13 +132,13 @@ def _rec(A: DistMatrix, root: int, b: int) -> tuple[DistMatrix, np.ndarray, np.n
     T12 = -local_mm(machine, root, TL, M4, label="caqr1d_T12")
     machine.compute(root, float(n2) * nr, label="caqr1d_negate")
 
-    T = np.zeros((n, n), dtype=TL.dtype)
+    T = machine.ops.zeros((n, n), dtype=TL.dtype)
     T[:n2, :n2] = TL
     T[:n2, n2:] = T12
     T[n2:, n2:] = TR
 
     # Line 14: R assembly on the root (it holds RL, B12, RR).
-    R = np.zeros((n, n), dtype=RL.dtype)
+    R = machine.ops.zeros((n, n), dtype=RL.dtype)
     R[:n2, :n2] = RL
     R[:n2, n2:] = B12
     R[n2:, n2:] = RR

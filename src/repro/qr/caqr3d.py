@@ -369,7 +369,7 @@ def _rec3d(
     V_blocks = {}
     for p in parts:
         rows = A.layout.rows_of(p)
-        blk = np.zeros((rows.size, n), dtype=VL.dtype)
+        blk = machine.ops.zeros((rows.size, n), dtype=VL.dtype)
         blk[:, :n2] = VL.local(p)
         keep = rows >= n2
         if keep.any():
@@ -399,8 +399,8 @@ def _rec3d(
     R_blocks: dict[int, np.ndarray] = {}
     for p in out_lay.participants():
         rows = out_lay.rows_of(p)
-        Tp = np.zeros((rows.size, n), dtype=TL.dtype)
-        Rp = np.zeros((rows.size, n), dtype=RL.dtype)
+        Tp = machine.ops.zeros((rows.size, n), dtype=TL.dtype)
+        Rp = machine.ops.zeros((rows.size, n), dtype=RL.dtype)
         top = rows < n2
         bot = ~top
         if top.any():

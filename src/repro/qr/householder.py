@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import SymbolicArray, is_symbolic, solve_triangular
 from repro.machine import Machine
 
 
@@ -90,21 +91,119 @@ class PanelQR:
     R: np.ndarray
 
 
-def local_geqrt(machine: Machine, p: int, A: np.ndarray) -> PanelQR:
-    """Unblocked Householder QR of a local ``m x n`` (``m >= n``) panel.
+#: Narrowest real panel routed to the LAPACK-backed blocked kernel; below
+#: this the per-column reference loop is faster than the LAPACK call.
+_BLOCKED_MIN_N = 8
+
+#: Narrowest kernel whose T accumulation uses the triangular-solve form;
+#: below this the Schreiber-Van Loan recurrence loop has less overhead.
+_T_SOLVE_MIN_N = 24
+
+
+def _geqrt_factor_flops(m: int, n: int, update_mask: np.ndarray | None = None) -> float:
+    """Flop count of the column-by-column factorization loop.
+
+    Column ``j`` always pays ``3 (m-j)`` (larfg norm + scaling) and,
+    when its reflector is nontrivial (``tau != 0``) and trailing columns
+    remain, ``4 (m-j) c + 2 c`` with ``c = n-j-1`` for the ``v^H C`` and
+    rank-1 update.  ``update_mask`` marks the ``tau != 0`` columns
+    (default: all -- the generic-data assumption symbolic mode makes).
+    All terms are exact integers in float64, so the vectorized sum is
+    bit-identical to the sequential accumulation of the reference loop.
+    """
+    if n == 0:
+        return 0.0
+    # Closed form for the generic case (every relevant tau nonzero); all
+    # quantities are exact integers, so this matches the sequential
+    # accumulation bit for bit.
+    if update_mask is None or n <= 1 or bool(update_mask[: n - 1].all()):
+        K1 = (n - 1) * n // 2
+        K2 = (n - 1) * n * (2 * n - 1) // 6
+        total = 3 * (n * m - K1)
+        if n > 1:
+            # sum_{j<n-1} (n-1-j) (4 (m-j) + 2)  with k = n-1-j
+            total += 4 * (m - n + 1) * K1 + 4 * K2 + 2 * K1
+        return float(total)
+    j = np.arange(n, dtype=np.float64)
+    L = float(m) - j
+    flops = float(np.sum(3.0 * L))
+    c = float(n) - j - 1.0
+    update = 4.0 * L * c + 2.0 * c
+    mask = np.asarray(update_mask, dtype=bool).copy()
+    mask[n - 1 :] = False  # no trailing columns to update
+    flops += float(np.sum(update[mask]))
+    return flops
+
+
+def _t_from_v_flops(m: int, n: int, mask: np.ndarray | None = None) -> float:
+    """Flop count of the T accumulation (columns with ``tau != 0``)."""
+    if n <= 1:
+        return 0.0
+    if mask is None or bool(mask[1:].all()):
+        K1 = (n - 1) * n // 2
+        K2 = (n - 1) * n * (2 * n - 1) // 6
+        return float(2 * m * K1 + K2 + K1)  # sum_{j>=1} 2mj + j^2 + j
+    j = np.arange(n, dtype=np.float64)
+    sel = np.asarray(mask, dtype=bool) & (np.arange(n) > 0)
+    return float(np.sum((2.0 * m * j + j * j + j)[sel]))
+
+
+def local_geqrt(
+    machine: Machine, p: int, A: np.ndarray, blocked: bool | None = None
+) -> PanelQR:
+    """Householder QR of a local ``m x n`` (``m >= n``) panel.
 
     Charges the standard ``~2mn^2`` factorization flops plus the
     ``~mn^2 + n^3/3`` T-accumulation flops on processor ``p``.
+
+    Three execution paths share identical metering:
+
+    * **symbolic machine** -- cost-only: the closed-form flop counts are
+      charged (assuming generic data, i.e. every ``tau != 0``) and
+      shape-only stand-ins are returned;
+    * **blocked** (numeric default for real dtypes) -- LAPACK ``geqrf``
+      via ``scipy.linalg.qr(..., mode='raw')``, post-corrected to this
+      library's always-reflect convention, plus the blocked T
+      accumulation of :func:`t_from_v`;
+    * **unblocked** (reference; numeric default for complex dtypes,
+      whose Hermitian-reflector convention LAPACK does not share) --
+      the original column-by-column loop.
     """
+    if is_symbolic(A):
+        m, n = A.shape
+        if m < n:
+            raise ValueError(f"local_geqrt requires m >= n, got {A.shape}")
+        dtype = np.result_type(A.dtype, np.float64)
+        machine.compute(p, _geqrt_factor_flops(m, n), label="geqrt_factor")
+        machine.compute(p, _t_from_v_flops(m, n), label="t_from_v")
+        return PanelQR(
+            V=SymbolicArray((m, n), dtype),
+            T=SymbolicArray((n, n), dtype),
+            R=SymbolicArray((n, n), dtype),
+        )
+
     A = np.asarray(A)
     m, n = A.shape
     if m < n:
         raise ValueError(f"local_geqrt requires m >= n, got {A.shape}")
     work = A.astype(np.result_type(A.dtype, np.float64), copy=True)
     dtype = work.dtype
+    if blocked is None:
+        # LAPACK wins for real panels once they are big enough to
+        # amortize the wrapper overhead; complex panels always take the
+        # reference loop (Hermitian-reflector convention).
+        blocked = dtype.kind != "c" and n >= _BLOCKED_MIN_N
+
+    if blocked:
+        V, taus, R_full = _geqrt_blocked(work)
+        machine.compute(
+            p, _geqrt_factor_flops(m, n, update_mask=taus != 0), label="geqrt_factor"
+        )
+        T = t_from_v(machine, p, V, taus)
+        return PanelQR(V=V, T=T, R=np.triu(R_full))
+
     V = np.zeros((m, n), dtype=dtype)
     taus = np.zeros(n, dtype=dtype)
-
     flops = 0.0
     for j in range(n):
         L = m - j
@@ -127,25 +226,71 @@ def local_geqrt(machine: Machine, p: int, A: np.ndarray) -> PanelQR:
     return PanelQR(V=V, T=T, R=R)
 
 
+def _geqrt_blocked(work: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """LAPACK-backed panel factorization in this library's convention.
+
+    Runs ``geqrf`` (blocked, BLAS-3) and converts the output to the
+    always-reflect convention of :func:`larfg`: LAPACK skips the
+    reflection of an already-reduced column (``x[1:] = 0`` gives
+    ``tau = 0``), whereas this library reflects with ``v = e1``,
+    ``tau = 2``, negating the column's diagonal and its row of R.  The
+    sign flip commutes with all later reflectors (they act strictly
+    below row ``j``), so patching ``tau``, ``V`` and row ``j`` of R
+    after the fact reproduces the reference factorization exactly.
+    Columns that are entirely zero (``beta = 0``) keep ``tau = 0`` in
+    both conventions.
+    """
+    from scipy.linalg import get_lapack_funcs
+
+    m, n = work.shape
+    (geqrf,) = get_lapack_funcs(("geqrf",), (work,))
+    qr_raw, taus, _lwork, info = geqrf(work, overwrite_a=1)
+    if info != 0:  # pragma: no cover - lapack input errors
+        raise ValueError(f"geqrf failed with info={info}")
+    taus = taus.astype(work.dtype, copy=True)
+    V = np.tril(qr_raw[:, :n], -1)
+    np.fill_diagonal(V, 1.0)
+    R_full = np.triu(qr_raw[:n, :]) if n else qr_raw[:n, :].copy()
+
+    skipped = np.flatnonzero(taus == 0)
+    for j in skipped:
+        if R_full[j, j] != 0:  # already-reduced column: flip, don't skip
+            taus[j] = 2.0
+            R_full[j, j:] = -R_full[j, j:]
+        # else: exactly-zero column, identity reflector in both conventions
+    return V, taus, R_full
+
+
 def t_from_v(machine: Machine, p: int, V: np.ndarray, taus: np.ndarray) -> np.ndarray:
     """Accumulate the upper-triangular kernel ``T`` from reflectors.
 
-    Schreiber-Van Loan recurrence: ``T[:j, j] = -taus[j] *
-    T[:j, :j] (V[:, :j]^H v_j)``, ``T[j, j] = taus[j]``.  Charges
-    ``~mn^2 + n^3/3`` flops on ``p``.
+    Solves the Schreiber-Van Loan recurrence ``T[:j, j] = -taus[j] *
+    T[:j, :j] (V[:, :j]^H v_j)``, ``T[j, j] = taus[j]`` in blocked form:
+    with ``G = V^H V``, ``S = triu(G, 1)`` and ``D = diag(taus)`` the
+    recurrence is exactly ``T (I + S D) = D``, one gemm plus one
+    triangular solve.  Charges the reference loop's ``~mn^2 + n^3/3``
+    flops on ``p``.
     """
     m, n = V.shape
-    T = np.zeros((n, n), dtype=V.dtype)
-    flops = 0.0
-    for j in range(n):
-        tau = taus[j]
-        T[j, j] = tau
-        if j > 0 and tau != 0:
-            u = V[:, :j].conj().T @ V[:, j]
-            T[:j, j] = -tau * (T[:j, :j] @ u)
-            flops += 2.0 * m * j + float(j) * j + j
-    machine.compute(p, flops, label="t_from_v")
-    return T
+    if is_symbolic(V):
+        machine.compute(p, _t_from_v_flops(m, n), label="t_from_v")
+        return SymbolicArray((n, n), V.dtype)
+    taus = np.asarray(taus)
+    machine.compute(p, _t_from_v_flops(m, n, mask=taus != 0), label="t_from_v")
+    if n < _T_SOLVE_MIN_N:  # tiny kernels: the recurrence beats the solver call
+        T = np.zeros((n, n), dtype=V.dtype)
+        for j in range(n):
+            tau = taus[j]
+            T[j, j] = tau
+            if j > 0 and tau != 0:
+                u = V[:, :j].conj().T @ V[:, j]
+                T[:j, j] = -tau * (T[:j, :j] @ u)
+        return T
+    G = V.conj().T @ V
+    M = np.eye(n, dtype=V.dtype) + np.triu(G, 1) * taus[None, :]
+    # T M = D  <=>  M^T T^T = D (plain transpose; taus are real).
+    T = solve_triangular(M, np.diag(taus), trans="T", lower=False).T
+    return np.ascontiguousarray(T)
 
 
 def reconstruct_t(machine: Machine, p: int, V: np.ndarray) -> np.ndarray:
@@ -156,12 +301,10 @@ def reconstruct_t(machine: Machine, p: int, V: np.ndarray) -> np.ndarray:
     ``I - V T V^H`` unitary.  This is the paper's observation that ``T``
     need not be stored in-place.
     """
-    import scipy.linalg
-
     m, n = V.shape
     G = V.conj().T @ V
     Tinv = np.triu(G, 1) + np.diag(np.diag(G).real) / 2.0
-    T = scipy.linalg.solve_triangular(Tinv, np.eye(n, dtype=V.dtype), lower=False)
+    T = solve_triangular(Tinv, machine.ops.eye(n, dtype=V.dtype), lower=False)
     machine.compute(p, Machine.flops_gemm(n, n, m) + n**3 / 3.0, label="reconstruct_t")
     return T
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import asarray as _backend_asarray
 from repro.machine import Machine, ParameterError
 from repro.qr.householder import PanelQR, local_geqrt
 
@@ -24,7 +25,7 @@ def qr_eg_sequential(machine: Machine, p: int, A: np.ndarray, b: int = 8) -> Pan
     """
     if b < 1:
         raise ParameterError(f"recursion threshold must be >= 1, got b={b}")
-    A = np.asarray(A)
+    A = _backend_asarray(A)
     m, n = A.shape
     if m < n:
         raise ParameterError(f"qr-eg requires m >= n, got {A.shape}")
@@ -52,7 +53,7 @@ def qr_eg_sequential(machine: Machine, p: int, A: np.ndarray, b: int = 8) -> Pan
     right = qr_eg_sequential(machine, p, B22, b)
 
     # Line 10: V = [V_L  [0; V_R]].
-    V = np.zeros((m, n), dtype=left.V.dtype)
+    V = machine.ops.zeros((m, n), dtype=left.V.dtype)
     V[:, :n2] = left.V
     V[n2:, n2:] = right.V
 
@@ -65,13 +66,13 @@ def qr_eg_sequential(machine: Machine, p: int, A: np.ndarray, b: int = 8) -> Pan
         Machine.flops_gemm(n2, nr, m - n2) + 2 * Machine.flops_gemm(n2, nr, nr) + float(n2) * nr,
         label="qreg_T",
     )
-    T = np.zeros((n, n), dtype=left.T.dtype)
+    T = machine.ops.zeros((n, n), dtype=left.T.dtype)
     T[:n2, :n2] = left.T
     T[:n2, n2:] = T12
     T[n2:, n2:] = right.T
 
     # Line 14: R = [[R_L, B12], [0, R_R]].
-    R = np.zeros((n, n), dtype=left.R.dtype)
+    R = machine.ops.zeros((n, n), dtype=left.R.dtype)
     R[:n2, :n2] = left.R
     R[:n2, n2:] = B12
     R[n2:, n2:] = right.R

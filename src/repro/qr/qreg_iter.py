@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import asarray as _backend_asarray
 from repro.dist import DistMatrix, tail_layout
 from repro.machine import Machine, ParameterError
 from repro.matmul import local_mm, mm1d_broadcast, mm1d_reduce
@@ -50,15 +51,15 @@ def qr_eg_hybrid(
     """
     if nb < 1 or b < 1:
         raise ParameterError(f"block sizes must be >= 1, got nb={nb}, b={b}")
-    A = np.asarray(A)
+    A = _backend_asarray(A)
     m, n = A.shape
     if m < n:
         raise ParameterError(f"qr_eg_hybrid requires m >= n, got {A.shape}")
     dtype = np.result_type(A.dtype, np.float64)
     work = A.astype(dtype, copy=True)
-    V = np.zeros((m, n), dtype=dtype)
-    T = np.zeros((n, n), dtype=dtype)
-    R = np.zeros((n, n), dtype=dtype)
+    V = machine.ops.zeros((m, n), dtype=dtype)
+    T = machine.ops.zeros((n, n), dtype=dtype)
+    R = machine.ops.zeros((n, n), dtype=dtype)
 
     for j0 in range(0, n, nb):
         w = min(nb, n - j0)
@@ -95,14 +96,14 @@ class RightLookingQR:
 
     def apply_adjoint(self, machine: Machine, p: int, C: np.ndarray) -> np.ndarray:
         """``Q^H C`` using only the panel kernels (left-to-right)."""
-        out = np.asarray(C).copy()
+        out = _backend_asarray(C).copy()
         for j0, Vp, Tp in self.panels:
             out[j0:] = apply_wy(machine, p, Vp, Tp, out[j0:], adjoint=True)
         return out
 
     def apply(self, machine: Machine, p: int, C: np.ndarray) -> np.ndarray:
         """``Q C`` using only the panel kernels (right-to-left)."""
-        out = np.asarray(C).copy()
+        out = _backend_asarray(C).copy()
         for j0, Vp, Tp in reversed(self.panels):
             out[j0:] = apply_wy(machine, p, Vp, Tp, out[j0:])
         return out
@@ -114,13 +115,13 @@ def qr_eg_rightlooking(
     """Sequential right-looking qr-eg that never forms superdiagonal T."""
     if nb < 1 or b < 1:
         raise ParameterError(f"block sizes must be >= 1, got nb={nb}, b={b}")
-    A = np.asarray(A)
+    A = _backend_asarray(A)
     m, n = A.shape
     if m < n:
         raise ParameterError(f"requires m >= n, got {A.shape}")
     dtype = np.result_type(A.dtype, np.float64)
     work = A.astype(dtype, copy=True)
-    R = np.zeros((n, n), dtype=dtype)
+    R = machine.ops.zeros((n, n), dtype=dtype)
     panels: list[tuple[int, np.ndarray, np.ndarray]] = []
 
     for j0 in range(0, n, nb):
@@ -168,7 +169,7 @@ def qr_1d_caqr_eg_rightlooking(
 
     cur = A
     panels: list[tuple[int, DistMatrix, np.ndarray]] = []
-    R = np.zeros((n, n), dtype=np.result_type(A.dtype, np.float64))
+    R = machine.ops.zeros((n, n), dtype=np.result_type(A.dtype, np.float64))
 
     j0 = 0
     while j0 < n:

@@ -23,10 +23,11 @@ alpha log P``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
-import scipy.linalg
 
+from repro.backend import SymbolicArray, is_symbolic, solve_triangular
 from repro.dist import DistMatrix
 from repro.machine import DistributionError
 from repro.qr.householder import PanelQR, apply_wy, local_geqrt, sgn
@@ -48,17 +49,28 @@ class TSQRResult:
     root: int
 
 
+@lru_cache(maxsize=512)
+def _triu_indices(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``np.triu_indices``: the tsqr tree packs/unpacks the same
+    ``n x n`` triangle at every merge, so recomputing the index arrays
+    per hop was a hot path at large ``P``."""
+    return np.triu_indices(n)
+
+
 def pack_triu(R: np.ndarray) -> np.ndarray:
     """Upper triangle of an ``n x n`` matrix as ``n(n+1)/2`` words."""
     n = R.shape[0]
-    iu = np.triu_indices(n)
-    return R[iu]
+    if is_symbolic(R):
+        return SymbolicArray((n * (n + 1) // 2,), R.dtype)
+    return R[_triu_indices(n)]
 
 
 def unpack_triu(packed: np.ndarray, n: int) -> np.ndarray:
     """Inverse of :func:`pack_triu` (free: local unpacking)."""
+    if is_symbolic(packed):
+        return SymbolicArray((n, n), packed.dtype)
     R = np.zeros((n, n), dtype=packed.dtype)
-    R[np.triu_indices(n)] = packed
+    R[_triu_indices(n)] = packed
     return R
 
 
@@ -129,9 +141,9 @@ def tsqr(A: DistMatrix, root: int = 0) -> TSQRResult:
     # Downsweep: apply the Q tree to identity columns, reversing the
     # reduce's communication pattern.
     # ------------------------------------------------------------------
-    B: dict[int, np.ndarray] = {root: np.eye(n, dtype=dtype)}
+    B: dict[int, np.ndarray] = {root: machine.ops.eye(n, dtype=dtype)}
     for r, r2, pan in reversed(merges):
-        stacked = np.vstack([B[r], np.zeros((n, n), dtype=dtype)])
+        stacked = np.vstack([B[r], machine.ops.zeros((n, n), dtype=dtype)])
         out = apply_wy(machine, r, pan.V, pan.T, stacked)
         B[r] = out[:n]
         B[r2] = machine.transfer(r, r2, out[n:], label="tsqr_down")
@@ -139,42 +151,56 @@ def tsqr(A: DistMatrix, root: int = 0) -> TSQRResult:
     W: dict[int, np.ndarray] = {}
     for p in parts:
         mp = A.layout.count(p)
-        stacked = np.vstack([B[p], np.zeros((mp - n, n), dtype=dtype)])
+        stacked = np.vstack([B[p], machine.ops.zeros((mp - n, n), dtype=dtype)])
         W[p] = apply_wy(machine, p, panels[p].V, panels[p].T, stacked)
 
     # ------------------------------------------------------------------
     # Householder reconstruction on the root ([BDG+15]).
     # ------------------------------------------------------------------
     X = W[root][:n]  # rows of W at global indices 0..n-1 (root owns them)
-    Xhat = X.astype(dtype, copy=True)
-    S = np.zeros(n, dtype=dtype)
-    Lfac = np.eye(n, dtype=dtype)
-    flops = 0.0
-    for j in range(n):
-        S[j] = sgn(Xhat[j, j])
-        Xhat[j, j] += S[j]
-        if j + 1 < n:
-            Lfac[j + 1 :, j] = Xhat[j + 1 :, j] / Xhat[j, j]
-            Xhat[j + 1 :, j + 1 :] -= np.multiply.outer(Lfac[j + 1 :, j], Xhat[j, j + 1 :])
-            Xhat[j + 1 :, j] = 0.0
-            flops += 3.0 * (n - j - 1) * (n - j)
-    machine.compute(root, flops, label="tsqr_lu")
-    U = np.triu(Xhat)
+    if machine.symbolic:
+        # Cost-only: charge the LU loop's unconditional per-column flops
+        # (exact integers, so the vectorized sum is bit-identical).
+        j = np.arange(n - 1, dtype=np.float64)
+        machine.compute(
+            root, float(np.sum(3.0 * (n - j - 1.0) * (n - j))), label="tsqr_lu"
+        )
+        U = SymbolicArray((n, n), dtype)
+        Lfac = SymbolicArray((n, n), dtype)
+        machine.compute(root, float(n) ** 3, label="tsqr_T")
+        T: np.ndarray = SymbolicArray((n, n), dtype)
+        machine.compute(root, float(n) * n, label="tsqr_R")
+        R: np.ndarray = SymbolicArray((n, n), dtype)
+    else:
+        Xhat = X.astype(dtype, copy=True)
+        S = np.zeros(n, dtype=dtype)
+        Lfac = np.eye(n, dtype=dtype)
+        flops = 0.0
+        for j in range(n):
+            S[j] = sgn(Xhat[j, j])
+            Xhat[j, j] += S[j]
+            if j + 1 < n:
+                Lfac[j + 1 :, j] = Xhat[j + 1 :, j] / Xhat[j, j]
+                Xhat[j + 1 :, j + 1 :] -= np.multiply.outer(Lfac[j + 1 :, j], Xhat[j, j + 1 :])
+                Xhat[j + 1 :, j] = 0.0
+                flops += 3.0 * (n - j - 1) * (n - j)
+        machine.compute(root, flops, label="tsqr_lu")
+        U = np.triu(Xhat)
 
-    # T = U S^H L^{-H};  R = -S R_tree.
-    #
-    # Derivation (fixes a conjugation slip in the paper's App. C.2 for
-    # complex data): Householder QR of the orthonormal W gives
-    # W = Q_w [R_w; 0] with R_w = diag(d) unitary, so
-    # W + [S; 0] = V (T V_top^H S) =: L U with S = -R_w, whence
-    # T = U S^H L^{-H} and A = Q_w [R_w R_tree; 0], i.e. the new
-    # R-factor is R_w R_tree = -S R_tree (not -S^H R_tree; they agree
-    # in the real case the reference implementation targets).
-    M = scipy.linalg.solve_triangular(Lfac, np.diag(S), lower=True, unit_diagonal=True)
-    T = U @ M.conj().T
-    machine.compute(root, float(n) ** 3, label="tsqr_T")
-    R = -S[:, None] * R_tree
-    machine.compute(root, float(n) * n, label="tsqr_R")
+        # T = U S^H L^{-H};  R = -S R_tree.
+        #
+        # Derivation (fixes a conjugation slip in the paper's App. C.2 for
+        # complex data): Householder QR of the orthonormal W gives
+        # W = Q_w [R_w; 0] with R_w = diag(d) unitary, so
+        # W + [S; 0] = V (T V_top^H S) =: L U with S = -R_w, whence
+        # T = U S^H L^{-H} and A = Q_w [R_w R_tree; 0], i.e. the new
+        # R-factor is R_w R_tree = -S R_tree (not -S^H R_tree; they agree
+        # in the real case the reference implementation targets).
+        M = solve_triangular(Lfac, np.diag(S), lower=True, unit_diagonal=True)
+        T = U @ M.conj().T
+        machine.compute(root, float(n) ** 3, label="tsqr_T")
+        R = -S[:, None] * R_tree
+        machine.compute(root, float(n) * n, label="tsqr_R")
 
     # ------------------------------------------------------------------
     # Broadcast U; every processor recovers V_p = W_p U^{-1} (the root's
@@ -192,13 +218,13 @@ def tsqr(A: DistMatrix, root: int = 0) -> TSQRResult:
         if p == root:
             bottom = Wp[n:]
             if bottom.shape[0]:
-                solved = scipy.linalg.solve_triangular(U, bottom.T, trans="T", lower=False).T
+                solved = solve_triangular(U, bottom.T, trans="T", lower=False).T
                 machine.compute(p, float(bottom.shape[0]) * n * n, label="tsqr_V")
                 Vblocks[p] = np.vstack([Lfac, solved])
             else:
                 Vblocks[p] = Lfac
         else:
-            solved = scipy.linalg.solve_triangular(U, Wp.T, trans="T", lower=False).T
+            solved = solve_triangular(U, Wp.T, trans="T", lower=False).T
             machine.compute(p, float(Wp.shape[0]) * n * n, label="tsqr_V")
             Vblocks[p] = solved
 

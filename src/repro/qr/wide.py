@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import asarray as _backend_asarray
 from repro.dist import DistMatrix
 from repro.machine import Machine, ParameterError
 
@@ -35,12 +36,12 @@ class WideQR:
 
 def qr_wide_sequential(machine: Machine, p: int, A: np.ndarray) -> WideQR:
     """Sequential wide QR: factor the left square block, update the rest."""
-    A = np.asarray(A)
+    A = _backend_asarray(A)
     m, n = A.shape
     if m > n:
         raise ParameterError(f"qr_wide handles m <= n; use a tall algorithm for {A.shape}")
     left: PanelQR = local_geqrt(machine, p, A[:, :m])
-    R = np.zeros((m, n), dtype=left.R.dtype)
+    R = machine.ops.zeros((m, n), dtype=left.R.dtype)
     R[:, :m] = left.R
     if n > m:
         R[:, m:] = apply_wy(machine, p, left.V, left.T, A[:, m:].astype(left.R.dtype), adjoint=True)
@@ -76,7 +77,7 @@ def qr_wide_3d(A: DistMatrix, **caqr3d_kwargs) -> WideQR:
     blocks = {}
     for p in parts:
         rows = A.layout.rows_of(p)
-        blk = np.zeros((rows.size, n), dtype=res.R.dtype)
+        blk = machine.ops.zeros((rows.size, n), dtype=res.R.dtype)
         blk[:, :m] = res.R.local(p)
         if n > m:
             blk[:, m:] = R2.local(p)

@@ -12,8 +12,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import SymbolicArray, is_symbolic
 from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
-from repro.machine import CostParams, CostReport, Machine
+from repro.machine import CostParams, CostReport, Machine, ParameterError
 from repro.qr import (
     qr_1d_caqr_eg,
     qr_3d_caqr_eg,
@@ -77,10 +78,11 @@ class RunResult:
 
 def run_qr(
     algorithm: str,
-    A: np.ndarray,
+    A: np.ndarray | tuple[int, int],
     P: int,
     cost_params: CostParams | None = None,
     validate: bool = True,
+    backend: str = "numeric",
     **params,
 ) -> RunResult:
     """Run ``algorithm`` on global array ``A`` over ``P`` simulated processors.
@@ -90,10 +92,28 @@ def run_qr(
     baselines get block-cyclic with the Section 8.1 grid.  Extra keyword
     arguments (``b``, ``bstar``, ``eps``, ``delta``, ``bb``, ``method``)
     are forwarded.
+
+    ``backend="symbolic"`` runs cost-only: the identical task stream is
+    metered but no arithmetic happens, so paper-scale ``(m, n, P)`` are
+    feasible.  In that mode ``A`` may be just a shape tuple ``(m, n)``
+    (no global array is ever materialized) and validation is
+    unavailable.
     """
-    A = np.asarray(A)
+    if isinstance(A, tuple):
+        if backend != "symbolic":
+            raise ParameterError(
+                "a shape-only input requires backend='symbolic' "
+                "(numeric mode needs real matrix entries)"
+            )
+        A = SymbolicArray(A)
+    if backend == "symbolic":
+        validate = False
+    elif is_symbolic(A):
+        raise ParameterError("symbolic input requires backend='symbolic'")
+    else:
+        A = np.asarray(A)
     m, n = A.shape
-    machine = Machine(P, params=cost_params)
+    machine = Machine(P, params=cost_params, backend=backend)
 
     if algorithm in ("tsqr", "house1d", "caqr1d"):
         layout = BlockRowLayout(balanced_sizes(m, P))
