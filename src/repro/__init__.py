@@ -21,6 +21,13 @@ Or use the one-call harness::
 
     from repro.workloads import run_qr
     print(run_qr("caqr3d", A, P=16, delta=2/3).row())
+
+Or let the planner choose the algorithm and knobs for your machine::
+
+    from repro import plan
+    print(plan(8192, 64, 32, profile="cloud").table(top=5))
+
+Paper anchor: the whole paper (SPAA 2018, arXiv:1805.05278).
 """
 
 from repro.backend import SymbolicArray
@@ -39,6 +46,7 @@ from repro.machine import (
     CostReport,
     Machine,
 )
+from repro.planner import plan, plan_and_run
 from repro.qr import (
     qr_1d_caqr_eg,
     qr_3d_caqr_eg,
@@ -66,6 +74,8 @@ __all__ = [
     "Machine",
     "SymbolicArray",
     "__version__",
+    "plan",
+    "plan_and_run",
     "qr_1d_caqr_eg",
     "qr_3d_caqr_eg",
     "qr_caqr_2d",

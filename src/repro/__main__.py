@@ -1,4 +1,7 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Paper anchor: Section 8 (evaluation driver).
+"""
 
 import sys
 

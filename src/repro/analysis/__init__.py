@@ -1,4 +1,7 @@
-"""Cost analysis: theorem formulas, tables, lower bounds, tradeoffs, fits."""
+"""Cost analysis: theorem formulas, tables, lower bounds, tradeoffs, fits.
+
+Paper anchor: Sections 3 and 8; Tables 1-3.
+"""
 
 from repro.analysis.constraints import (
     Feasibility,

@@ -19,6 +19,8 @@ All checks use unit constants inside the Omega/O, which makes them
 that Theorem 1 "is substantially limited by its restrictions on
 permissible parallelism".  The ``margin`` field lets callers apply
 their own constant.
+
+Paper anchor: Eq. 2 and Eq. 14-15 (theorem hypotheses); Section 8.4.
 """
 
 from __future__ import annotations
@@ -43,7 +45,13 @@ class Feasibility:
 
 
 def check_theorem2(m: int, n: int, P: int, eps: float = 1.0) -> Feasibility:
-    """Theorem 2 needs ``m/n >= P`` and ``P (log P)^{2 eps} = O(n^2)``."""
+    """Theorem 2 needs ``m/n >= P`` and ``P (log P)^{2 eps} = O(n^2)``.
+
+    >>> check_theorem2(2**20, 1024, 64).holds
+    True
+    >>> check_theorem2(2**10, 1024, 64).holds   # m/n = 1 < P
+    False
+    """
     lp = log2p(P)
     margins = []
     details = []

@@ -4,6 +4,8 @@ The theorems make Theta claims; the honest empirical check is that
 measured cost grows with the *predicted exponent* as one parameter
 sweeps and the rest stay fixed.  A log-log least-squares slope does
 exactly that.
+
+Paper anchor: Section 8 (scaling-exponent methodology for Theorems 1-2).
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ and ``Omega(log P)``; in the square-ish regime ``Omega(n^2/(nP/m)^{2/3})``
 and ``Omega((nP/m)^{1/2})`` [BCD+14].  The lower-bound benchmark prints
 each algorithm's measured costs as multiples of these -- the paper's
 Section 8.3 narrative in numbers.
+
+Paper anchor: Section 8.3 (communication lower bounds).
 """
 
 from __future__ import annotations

@@ -3,6 +3,8 @@
 Each function returns rows of ``(algorithm, {flops, words, messages})``
 for concrete ``(m, n, P)`` -- the paper's symbolic tables instantiated.
 The table benchmarks print these beside measured values.
+
+Paper anchor: Tables 2-3.
 """
 
 from __future__ import annotations

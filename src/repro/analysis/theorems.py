@@ -5,6 +5,8 @@ the Theta-shape with unit constants.  Benchmarks print these next to
 measured critical paths; scaling tests check the measured *exponents*
 against them, which is the honest way to compare a Theta to a
 measurement.
+
+Paper anchor: Theorems 1-2, Lemmas 5-7, Eq. 11 and Eq. 13.
 """
 
 from __future__ import annotations
@@ -13,7 +15,13 @@ from repro.qr.params import choose_b_3d, choose_bstar, log2p
 
 
 def cost_tsqr(m: int, n: int, P: int) -> dict[str, float]:
-    """Lemma 5: ``gamma (mn^2/P + n^3 log P) + beta n^2 log P + alpha log P``."""
+    """Lemma 5: ``gamma (mn^2/P + n^3 log P) + beta n^2 log P + alpha log P``.
+
+    >>> cost_tsqr(1024, 32, 16)["messages"]
+    4.0
+    >>> cost_tsqr(1024, 32, 16)["words"] == 32**2 * 4
+    True
+    """
     lp = log2p(P)
     return {
         "flops": m * n**2 / P + n**3 * lp,

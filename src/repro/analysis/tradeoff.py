@@ -6,6 +6,8 @@ bandwidth-latency product the paper conjectures is ``Omega(n^2)``, and
 pick the best parameter for a concrete machine -- the tuning use-case
 the abstract advertises ("we can tune this algorithm for machines with
 different communication costs").
+
+Paper anchor: Eq. 10 and Eq. 12 (tradeoff knobs); Section 8.4.
 """
 
 from __future__ import annotations

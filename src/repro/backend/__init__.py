@@ -4,6 +4,8 @@ See :mod:`repro.backend.symbolic` for the data model and
 :mod:`repro.backend.ops` for the indirection layer.  The backend is
 selected per :class:`~repro.machine.Machine`
 (``Machine(P, backend="symbolic")``); algorithms are backend-agnostic.
+
+Paper anchor: Section 3 (the cost model both backends meter identically).
 """
 
 from repro.backend.ops import (

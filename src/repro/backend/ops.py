@@ -16,6 +16,8 @@ dispatch on) and scipy kernels (``solve_triangular``) -- goes through
 this module instead: creation via the machine-bound :class:`Ops` object
 (``machine.ops.zeros(...)``), kernels via the type-dispatched
 module-level functions (:func:`solve_triangular`, :func:`asarray`).
+
+Paper anchor: Section 3 (cost model); Section 2.3 (the local kernels dispatched).
 """
 
 from __future__ import annotations

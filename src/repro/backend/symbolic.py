@@ -22,6 +22,8 @@ Writes (``__setitem__``) are no-ops: cost-only mode never reads element
 values, so there is nothing to store.  Indexing implements numpy's
 result-shape rules for the patterns the library uses (basic slices,
 integers, and 1-D boolean / integer advanced indices).
+
+Paper anchor: Section 3 (cost-only replay of the task DAG).
 """
 
 from __future__ import annotations
@@ -497,6 +499,16 @@ def _hstack(arrays, **kwargs):
     if len(shapes[0]) == 1:
         return SymbolicArray((sum(s[0] for s in shapes),), dtype)
     return SymbolicArray((shapes[0][0], sum(s[1] for s in shapes)), dtype)
+
+
+@_implements(np.shape)
+def _shape(x):
+    return _shape_of(x)
+
+
+@_implements(np.ndim)
+def _ndim(x):
+    return len(_shape_of(x))
 
 
 @_implements(np.triu)

@@ -1,16 +1,21 @@
-"""Command-line interface: run and sweep algorithms from the shell.
+"""Command-line interface: run, sweep, and plan algorithms from the shell.
 
 Usage::
 
     python -m repro run   --alg caqr3d --m 256 --n 64 --P 16 --delta 0.5
     python -m repro sweep --alg caqr1d --m 8192 --n 64 --P 32 --knob b \\
                           --values 64,32,16,8
+    python -m repro plan  --m 65536 --n 1024 --P 1024 --profile cluster
     python -m repro profiles
 
 ``run`` factors one matrix and prints the measured cost triple plus
 diagnostics; ``sweep`` varies one knob and prints a table with modeled
-times on every machine profile; ``profiles`` lists the built-in
-machine profiles.
+times on every machine profile; ``plan`` asks the planner which
+algorithm/knobs to use for a problem shape on a machine profile (see
+:mod:`repro.planner`); ``profiles`` lists the built-in machine
+profiles.
+
+Paper anchor: Section 8 (the evaluation's run/sweep/tune driver).
 """
 
 from __future__ import annotations
@@ -95,6 +100,51 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_plan(args) -> int:
+    from repro.planner import DEFAULT_CONFIG, PlannerConfig, plan, plan_and_run, resolve_profile
+
+    profile = resolve_profile(args.profile)
+    config = DEFAULT_CONFIG
+    if args.top is not None:
+        config = PlannerConfig(max_measured=args.top)
+    budget = args.budget if args.budget > 0 else None
+    kw = dict(profile=profile, config=config, measure_budget=budget,
+              use_cache=not args.no_cache)
+    if args.run:
+        from repro.machine import ParameterError
+
+        try:
+            result, run = plan_and_run(m=args.m, n=args.n, P=args.P,
+                                       P_budget=args.P_budget, seed=args.seed, **kw)
+        except ParameterError as exc:
+            print(exc)
+            return 1
+    else:
+        result = plan(args.m, args.n, args.P, P_budget=args.P_budget, **kw)
+        run = None
+    if not result.plans:
+        print(result.explain())
+        return 1
+    print(result.table(top=args.show))
+    s = result.stats
+    print(f"[{s['measured']}/{s['candidates']} candidates measured in "
+          f"{s['elapsed_s']:.3g}s; {s['pruned']} pruned by predicted cost"
+          + (f"; {s['budget_skipped']} skipped by --budget" if s["budget_skipped"] else "")
+          + "]")
+    if result.rejected:
+        print(f"excluded ({len(result.rejected)}):")
+        seen = set()
+        for r in result.rejected:
+            line = f"  {r.label}: {r.reason}"
+            if line not in seen:
+                seen.add(line)
+                print(line)
+    if run is not None:
+        print("\nwinner executed numerically:")
+        print(format_run_table([run.row()]))
+    return 0
+
+
 def cmd_profiles(_args) -> int:
     print(f"{'name':<18} {'alpha':>10} {'beta':>10} {'gamma':>10}")
     for name, p in MACHINE_PROFILES.items():
@@ -121,6 +171,31 @@ def main(argv=None) -> int:
     for name, typ in (("b", int), ("bstar", int), ("bb", int), ("eps", float), ("delta", float)):
         p_sweep.add_argument(f"--{name}", type=typ, default=None)
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_plan = sub.add_parser(
+        "plan", help="rank algorithms/knobs for a problem shape on a machine profile"
+    )
+    p_plan.add_argument("--m", type=int, required=True)
+    p_plan.add_argument("--n", type=int, required=True)
+    group = p_plan.add_mutually_exclusive_group(required=True)
+    group.add_argument("--P", type=int, default=None)
+    group.add_argument("--P-budget", dest="P_budget", type=int, default=None,
+                       help="search powers of two up to this processor budget")
+    p_plan.add_argument("--profile", default="cluster",
+                        help="profile name (see `profiles`) or 'alpha,beta,gamma'")
+    p_plan.add_argument("--budget", type=float, default=240.0,
+                        help="approx. wall-clock seconds for symbolic measurement "
+                             "(predicted-best is always measured; <=0 or 'inf' "
+                             "measures everything)")
+    p_plan.add_argument("--top", type=int, default=None,
+                        help="measure at most this many candidates")
+    p_plan.add_argument("--show", type=int, default=None,
+                        help="print at most this many ranked rows")
+    p_plan.add_argument("--run", action="store_true",
+                        help="execute the winner numerically (generates a test matrix)")
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument("--no-cache", action="store_true")
+    p_plan.set_defaults(fn=cmd_plan)
 
     p_prof = sub.add_parser("profiles", help="list machine profiles")
     p_prof.set_defaults(fn=cmd_profiles)

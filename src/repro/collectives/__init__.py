@@ -13,6 +13,8 @@ algorithm families:
 
 :mod:`~repro.collectives.dispatch` auto-selects the cheaper variant per
 Table 1; :mod:`~repro.collectives.bounds` holds the Table 1 formulas.
+
+Paper anchor: Section 3, Table 1, Appendix A.
 """
 
 from repro.collectives.alltoall import (

@@ -12,6 +12,8 @@ cyclically across intermediate processors, runs two index all-to-alls
 bounds the bandwidth by ``(B* + P^2) log P`` where ``B*`` is the maximum
 number of words any processor holds before/after -- the bound Section 7
 relies on (and the source of the ``P^2`` term in Eq. 13).
+
+Paper anchor: Table 1 ([HBJ96] index and [BHK+97] two-phase all-to-all).
 """
 
 from __future__ import annotations

@@ -7,6 +7,8 @@ from them (scatter+all-gather and reduce-scatter+gather/all-gather).
 The point of these algorithms -- and the reason 1d-caqr-eg exists -- is
 that for block size ``B`` large relative to ``P`` they move ``O(B)``
 words instead of the binomial tree's ``O(B log P)``.
+
+Paper anchor: Appendix A.2, Table 1 (bidirectional-exchange collectives).
 """
 
 from __future__ import annotations

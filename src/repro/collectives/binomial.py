@@ -9,6 +9,8 @@ recurse in parallel.
 Cost shapes (Table 1): scatter/gather move ``(P-1)B`` words in ``log P``
 messages along the critical path; broadcast/reduce move ``B log P``
 words in ``log P`` messages (reduce also adds ``B log P`` flops).
+
+Paper anchor: Appendix A.1, Table 1 (binomial-tree collectives).
 """
 
 from __future__ import annotations

@@ -5,6 +5,8 @@ group of ``P`` processors with largest block ``B`` (and, for all-to-all,
 ``B*`` = the maximum words any processor holds before/after).  These are
 the Theta-shapes the implementations must track; the test suite asserts
 measured critical paths stay within small constant factors of them.
+
+Paper anchor: Table 1 (collective cost bounds).
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ the context maps them to machine ranks.  Disjoint contexts can run
 collectives "simultaneously" -- the per-processor clocks in the machine
 make the cost accounting come out as a parallel schedule would (paper
 Section 3's simultaneous grid-fiber collectives in Lemma 4).
+
+Paper anchor: Section 3 (processor groups executing collectives).
 """
 
 from __future__ import annotations

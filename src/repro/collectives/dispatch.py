@@ -5,6 +5,8 @@ the binomial-tree bound (``B log P`` words) and the bidirectional
 exchange bound (``~B + P`` words).  These wrappers pick whichever
 variant's bound is smaller for the given block size, which is exactly
 what a tuned MPI would do -- and what the paper's Table 1 assumes.
+
+Paper anchor: Appendix A (variant selection by block size).
 """
 
 from __future__ import annotations

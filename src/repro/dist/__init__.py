@@ -12,8 +12,11 @@ Construction and harness-side conversion (``from_global`` /
 ``to_global``) are free by the library's cost conventions; everything
 that moves data between processors flows through
 :class:`~repro.machine.Machine` and is accounted on the critical path.
+
+Paper anchor: Sections 5-8 (data distributions beneath every algorithm).
 """
 
+from repro.dist.blockcyclic import BlockCyclic2D, choose_grid_2d
 from repro.dist.distmatrix import DistMatrix
 from repro.dist.layouts import (
     BlockRowLayout,
@@ -26,8 +29,10 @@ from repro.dist.layouts import (
 from repro.dist.redistribute import redistribute_rows
 
 __all__ = [
+    "BlockCyclic2D",
     "BlockRowLayout",
     "CyclicRowLayout",
+    "choose_grid_2d",
     "DistMatrix",
     "ExplicitRowLayout",
     "RowLayout",

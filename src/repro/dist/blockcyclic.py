@@ -16,6 +16,8 @@ panel gathers) through the machine.
 :func:`choose_grid_2d` picks the Section 8.1 grid
 ``pc = Theta((nP/m)^(1/2))``: square matrices get square-ish grids,
 tall-skinny ones degenerate toward 1D processor columns.
+
+Paper anchor: Section 8.1 (2D block-cyclic layout and grid).
 """
 
 from __future__ import annotations

@@ -15,6 +15,8 @@ algorithm step.  Anything that moves rows *between processors* is an
 algorithm step and is metered through :class:`~repro.machine.Machine`:
 see :meth:`DistMatrix.gather_to_root` and
 :func:`~repro.dist.redistribute.redistribute_rows`.
+
+Paper anchor: Section 3 (owner-computes execution); Sections 5 and 7 (row distributions).
 """
 
 from __future__ import annotations

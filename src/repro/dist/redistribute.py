@@ -20,6 +20,8 @@ Two variants, matching the all-to-all algorithms of Appendix A.3:
   [HBJ96]: each block's elements are dealt cyclically over intermediate
   processors and routed home in a second index all-to-all, bounding the
   per-round message sizes by the row/column sums of the traffic matrix.
+
+Paper anchor: Section 7 (layout redistributions through all-to-all).
 """
 
 from __future__ import annotations

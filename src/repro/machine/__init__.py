@@ -9,6 +9,8 @@ endpoint; runtime is the maximum-weight path through the task DAG.
 The simulator tracks the three critical-path metrics the paper reports
 (#operations, #words, #messages) exactly and independently, plus the
 combined modeled time.
+
+Paper anchor: Section 3 (machine model).
 """
 
 from repro.machine.clocks import METRICS, ClockSet

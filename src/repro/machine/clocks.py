@@ -23,6 +23,8 @@ Storage is one plain Python float per (metric, processor): the machine
 charges millions of point-to-point messages in a large symbolic sweep,
 and scalar float updates are several times cheaper than small-numpy
 column arithmetic, which used to dominate cost-only wall-clock.
+
+Paper anchor: Section 3 (per-metric critical paths).
 """
 
 from __future__ import annotations

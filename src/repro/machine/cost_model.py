@@ -9,6 +9,8 @@ maximum weight of any path through the execution DAG.
 aggregate totals.  A few representative machine profiles are provided for
 the examples and the tuning benchmarks -- the point of the paper is that
 the best algorithm depends on the alpha/beta ratio.
+
+Paper anchor: Section 3 (alpha-beta-gamma cost model).
 """
 
 from __future__ import annotations

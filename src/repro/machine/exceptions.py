@@ -1,4 +1,7 @@
-"""Exception hierarchy for the machine simulator and the algorithms on it."""
+"""Exception hierarchy for the machine simulator and the algorithms on it.
+
+Paper anchor: Section 3 (machine-model invariants enforced as errors).
+"""
 
 from __future__ import annotations
 

@@ -12,6 +12,8 @@ Data locality is a convention enforced by the distributed containers in
 :mod:`repro.dist`: the machine itself only meters movement.  A message of
 ``w`` words costs ``alpha + w*beta`` at *both* endpoints and the receive
 happens-after the send, exactly the paper's DAG semantics.
+
+Paper anchor: Section 3 (machine model and DAG semantics).
 """
 
 from __future__ import annotations

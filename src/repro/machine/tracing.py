@@ -5,6 +5,8 @@ Traces support two consumers: debugging (pretty printing, filtering) and
 DAG export to :mod:`networkx` for independent longest-path verification --
 the test suite cross-checks the online max-plus clocks against an offline
 longest-path computation on the exported DAG.
+
+Paper anchor: Section 3 (the execution DAG, observable).
 """
 
 from __future__ import annotations

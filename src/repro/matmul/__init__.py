@@ -4,6 +4,8 @@ The paper's Section 4: ``mm`` (Lemma 2) runs on one processor, ``dmm``
 on a 1D grid (Lemma 3, two special layouts used by 1d-caqr-eg), and the
 general 3D brick algorithm (Lemma 4, [ABG+95]) whose ``(IJK/P)^(2/3)``
 bandwidth is the engine of 3d-caqr-eg's bandwidth savings.
+
+Paper anchor: Section 4, Lemmas 2-4.
 """
 
 from repro.matmul.costs import (

@@ -3,6 +3,8 @@
 These are the Theta-shapes (constants set to 1) used by the analysis
 tables and the scaling tests; measured costs should track them within
 constant factors.
+
+Paper anchor: Lemmas 2-4 (multiplication cost formulas).
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ reduce-scatters of the dmm algorithm.
 :func:`choose_grid` picks ``Q = floor(I/rho)`` etc. with
 ``rho = (IJK/P)^(1/3)`` per Lemma 4, clamped to the matrix dimensions so
 degenerate shapes (the 1D cases of Lemma 3) fall out naturally.
+
+Paper anchor: Section 4 and Appendix B ([ABG+95] 3D grids).
 """
 
 from __future__ import annotations

@@ -3,6 +3,8 @@
 ``mm`` in the paper (Lemma 2): the conventional algorithm costs ``IJK``
 multiplications and ``IJ(K-1)`` additions.  numpy does the arithmetic;
 the machine meters it.
+
+Paper anchor: Lemma 2 (local multiplication).
 """
 
 from __future__ import annotations

@@ -13,6 +13,8 @@ Two degenerate dmm cases on a 1D processor grid, used by 1d-caqr-eg:
 Both use the auto-dispatched collectives, so for large blocks they hit
 the bidirectional-exchange bound ``O(IJ)`` / ``O(JK)`` words -- the
 log-factor saving over tsqr that motivates 1d-caqr-eg.
+
+Paper anchor: Lemma 3 (1D parallel multiplication).
 """
 
 from __future__ import annotations

@@ -20,6 +20,8 @@ multiplications (Section 7.2); this module always performs them because
 the paper's analysis charges them.  Cost shape for cube-ish multiplies
 (Lemma 4): ``gamma IJK/P + beta (IJK/P)^(2/3) + alpha log P`` plus the
 all-to-all terms.
+
+Paper anchor: Section 4, Lemma 4, Appendix B (3D brick multiplication).
 """
 
 from __future__ import annotations

@@ -12,6 +12,8 @@ those coordinates, as (flat row-major position, value) pairs.
 Positions are deterministic given the layouts, so they travel as
 zero-cost :class:`~repro.machine.Meta` -- only values count as words,
 matching the model's accounting for MPI-datatype-style redistribution.
+
+Paper anchor: Section 4 (brick operand layouts for dmm).
 """
 
 from __future__ import annotations

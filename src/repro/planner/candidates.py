@@ -1,0 +1,240 @@
+"""Candidate enumeration: every algorithm/knob combination worth considering.
+
+The planner's search space is the cross product of the library's
+algorithms with their tuning knobs -- the ``b`` ladder of 1d-caqr-eg
+(Eq. 10), the ``(delta, eps) -> (b, b*)`` policies of 3d-caqr-eg
+(Eq. 12), and the ``pr x pc`` grid shapes of the 2D baselines
+(Section 8.1).  :func:`enumerate_candidates` walks that space for one
+``(m, n, P)`` and splits it into feasible :class:`Candidate`\\ s and
+explained :class:`Rejection`\\ s; nothing is silently dropped, so an
+empty candidate list always comes with the reasons why.
+
+Feasibility here is *structural* (can the distribution be built at
+all): the tall-skinny algorithms need ``m >= n P`` rows to place one
+block per processor (Section 5), 1d-caqr-eg's Lemma 6 needs
+``P = O(b^2)``, 3d-caqr-eg needs ``m >= n`` and at most one row owner
+per processor (Section 7).  The asymptotic theorem windows (Eq. 2) are
+deliberately *not* gates -- outside them the algorithms still run, just
+with the additive Eq. 13 terms (see ``repro.analysis.constraints``).
+
+Paper anchor: Section 8.4 (tuning discussion), Eq. 10, Eq. 12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dist import choose_grid_2d
+from repro.qr.params import choose_b_1d, choose_b_3d, choose_bstar, recursion_depth
+from repro.workloads import ALGORITHMS
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One runnable (algorithm, processor count, knob setting) point.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so the whole
+    candidate is hashable -- it doubles as the measurement-cache key.
+    ``provenance`` records the policy that produced the knobs (e.g.
+    ``"delta=0.5, eps=1"``) for reporting; it is *not* part of identity.
+
+    >>> c = Candidate("caqr1d", 32, (("b", 16),))
+    >>> c.label
+    'caqr1d[b=16]'
+    >>> c.kwargs()
+    {'b': 16}
+    """
+
+    algorithm: str
+    P: int
+    params: tuple[tuple[str, float | int], ...] = ()
+    provenance: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def kwargs(self) -> dict:
+        """Keyword arguments for ``run_qr``."""
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable name, e.g. ``caqr3d[b=256,bstar=26]``."""
+        if not self.params:
+            return self.algorithm
+        inner = ",".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                         for k, v in self.params)
+        return f"{self.algorithm}[{inner}]"
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A candidate (or whole algorithm family) excluded, with the reason."""
+
+    algorithm: str
+    P: int
+    reason: str
+    params: tuple[tuple[str, float | int], ...] = ()
+
+    @property
+    def label(self) -> str:
+        c = Candidate(self.algorithm, self.P, self.params)
+        return c.label
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knob grids the enumeration walks (all hashable, so plans cache).
+
+    The defaults follow the paper's own evaluation: ``delta`` at the
+    Theorem 1 interval endpoints 1/2 and 2/3 plus the degenerate 0
+    (Table 2 compares exactly delta = 1/2 and 2/3), ``eps = 1`` (the
+    Theorem 2 choice), a power-of-two ``b`` ladder for 1d-caqr-eg, and
+    the Section 8.1 grid with its neighbors for the 2D baselines.
+    """
+
+    algorithms: tuple[str, ...] = ALGORITHMS
+    delta_grid: tuple[float, ...] = (0.0, 0.5, 2.0 / 3.0)
+    eps_grid: tuple[float, ...] = (1.0,)
+    max_b_rungs: int = 5
+    grid_variants: int = 3
+    bb_grid: tuple[int, ...] = ()
+    #: Candidates predicted worse than ``prune_factor`` times the best
+    #: predicted time are not measured.  Generous by default: the theorem
+    #: formulas drop Theta constants, so pruning must only kill
+    #: order-of-magnitude losers (see planner.pruning).
+    prune_factor: float = 1000.0
+    #: Hard cap on how many survivors are measured (None = all).
+    max_measured: int | None = None
+
+
+DEFAULT_CONFIG = PlannerConfig()
+
+
+def _b_ladder(n: int, P: int, max_rungs: int) -> tuple[list[int], int]:
+    """Power-of-two ``b`` values for 1d-caqr-eg, plus the Eq. 10 default.
+
+    Returns ``(values, b_min)`` where ``b_min = ceil(sqrt(P))`` is the
+    Lemma 6 requirement ``P = O(b^2)`` with constant 1.
+    """
+    b_min = max(1, math.isqrt(max(P - 1, 0)) + 1) if P > 1 else 1
+    ladder: list[int] = []
+    b = n
+    while b >= b_min and len(ladder) < max_rungs:
+        ladder.append(b)
+        b //= 2
+    default = choose_b_1d(n, P)
+    if default >= b_min and default not in ladder:
+        ladder.append(default)
+    # b acts only through the recursion depth ceil(log2(n/b)) (the
+    # recursion halves columns), so different rungs mapping to the same
+    # depth would measure identically -- keep one per depth.
+    by_depth: dict[int, int] = {}
+    for b in sorted(set(ladder), reverse=True):
+        by_depth.setdefault(recursion_depth(n, b), b)
+    return sorted(by_depth.values(), reverse=True), b_min
+
+
+def _grid_ladder(m: int, n: int, P: int, variants: int) -> list[tuple[int, int]]:
+    """The Section 8.1 grid ``pc ~ (nP/m)^(1/2)`` and its 2x neighbors."""
+    pr0, pc0 = choose_grid_2d(m, n, P)
+    grids = [(pr0, pc0)]
+    for pc in (pc0 * 2, max(1, pc0 // 2)):
+        if len(grids) >= variants:
+            break
+        pc = max(1, min(pc, n, P))
+        pr = max(1, min(m, P // pc))
+        if (pr, pc) not in grids and pr * pc <= P:
+            grids.append((pr, pc))
+    return grids
+
+
+def enumerate_candidates(
+    m: int, n: int, P: int, config: PlannerConfig = DEFAULT_CONFIG
+) -> tuple[list[Candidate], list[Rejection]]:
+    """All candidates at ``(m, n, P)``, plus explained rejections.
+
+    >>> cands, rejected = enumerate_candidates(64, 8, 4)
+    >>> sorted({c.algorithm for c in cands}) == sorted(set(ALGORITHMS))
+    True
+    >>> cands, rejected = enumerate_candidates(8, 64, 4)   # wide matrix
+    >>> cands
+    []
+    >>> len(rejected) == len(ALGORITHMS)
+    True
+    """
+    candidates: list[Candidate] = []
+    rejected: list[Rejection] = []
+
+    def reject(alg: str, reason: str, params: tuple = ()) -> None:
+        rejected.append(Rejection(alg, P, reason, params))
+
+    if P < 1:
+        for alg in config.algorithms:
+            reject(alg, f"P must be >= 1, got {P}")
+        return candidates, rejected
+    if m < n or n < 1:
+        for alg in config.algorithms:
+            reject(alg, f"requires m >= n >= 1, got ({m}, {n}); "
+                        "wide matrices go through repro.qr.wide, not run_qr")
+        return candidates, rejected
+
+    tall_ok = m >= n * P
+    for alg in config.algorithms:
+        if alg in ("tsqr", "house1d"):
+            if not tall_ok:
+                reject(alg, f"tall-skinny layout needs m >= n*P "
+                            f"(m/n = {m / n:.3g} < P = {P}, Section 5)")
+            else:
+                candidates.append(Candidate(alg, P))
+        elif alg == "caqr1d":
+            if not tall_ok:
+                reject(alg, f"tall-skinny layout needs m >= n*P "
+                            f"(m/n = {m / n:.3g} < P = {P}, Section 5)")
+                continue
+            ladder, b_min = _b_ladder(n, P, config.max_b_rungs)
+            if not ladder:
+                reject(alg, f"no b with b >= sqrt(P) = {b_min} and b <= n = {n} "
+                            "(Lemma 6 needs P = O(b^2))")
+            for b in ladder:
+                candidates.append(
+                    Candidate(alg, P, (("b", b),), provenance=f"b ladder (b_min={b_min})")
+                )
+        elif alg == "caqr3d":
+            if P > m:
+                reject(alg, f"cyclic row layout needs P <= m (P = {P} > m = {m}, Section 7)")
+                continue
+            seen: set[tuple[int, int]] = set()
+            for delta in config.delta_grid:
+                b = choose_b_3d(m, n, P, delta)
+                for eps in config.eps_grid:
+                    bstar = choose_bstar(b, P, eps)
+                    if (b, bstar) in seen:
+                        # b acts through ceil(log2(n/b)): nearby deltas can
+                        # collapse to the same knobs (EXPERIMENTS.md caveat).
+                        continue
+                    seen.add((b, bstar))
+                    candidates.append(
+                        Candidate(
+                            alg, P, (("b", b), ("bstar", bstar), ("delta", delta)),
+                            provenance=f"delta={delta:g}, eps={eps:g}",
+                        )
+                    )
+        elif alg in ("house2d", "caqr2d"):
+            bbs: tuple = (None,) + tuple(config.bb_grid)
+            for pr, pc in _grid_ladder(m, n, P, config.grid_variants):
+                for bb in bbs:
+                    params: tuple = (("pr", pr), ("pc", pc))
+                    if bb is not None:
+                        if not (1 <= bb <= n):
+                            reject(alg, f"block size bb = {bb} outside [1, n]",
+                                   params + (("bb", bb),))
+                            continue
+                        params = params + (("bb", bb),)
+                    candidates.append(
+                        Candidate(alg, P, params, provenance="Section 8.1 grid ladder")
+                    )
+        else:
+            reject(alg, f"unknown algorithm {alg!r}")
+    return candidates, rejected

@@ -1,0 +1,107 @@
+"""Closed-form pruning: drop candidates the theorems already rule out.
+
+Before anything is measured, every candidate gets the paper's predicted
+cost triple (``repro.analysis.theorems``) and a modeled time under the
+target machine's ``(alpha, beta, gamma)``.  Candidates predicted worse
+than ``prune_factor`` times the predicted best are excluded from the
+measurement stage -- with the factor recorded as the rejection reason,
+so a plan never silently narrows its search space.
+
+The default factor is deliberately generous (1000x): the theorem
+formulas are Theta-shapes with unit constants, and at simulation scale
+the per-algorithm constants differ by up to two orders of magnitude
+(the additive Eq. 13 terms; see EXPERIMENTS.md's T2/F2 discussion).
+Pruning therefore only removes *order-of-magnitude* losers -- e.g.
+d-house-1d's ``n log P`` message term on a latency-bound machine -- and
+the measured symbolic ranking decides everything else.
+
+Paper anchor: Theorems 1-2, Lemmas 5-7 (via repro.analysis.theorems).
+
+>>> from repro.planner.candidates import Candidate
+>>> p = predict(Candidate("tsqr", 32), m=8192, n=64)
+>>> sorted(p.triple)
+['flops', 'messages', 'words']
+>>> p.time > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.theorems import cost_theorem1, predicted_for
+from repro.machine import CostParams
+from repro.planner.candidates import Candidate, Rejection
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A candidate's closed-form cost triple and modeled time."""
+
+    candidate: Candidate
+    triple: dict[str, float]
+    time: float
+
+
+def predict(c: Candidate, m: int, n: int, profile: CostParams | None = None) -> Prediction:
+    """Theorem-predicted ``{flops, words, messages}`` and modeled time.
+
+    Dispatches through :func:`repro.analysis.theorems.predicted_for`:
+    tsqr -> Lemma 5, caqr1d(b) -> Lemma 6 / Eq. 11, the baselines ->
+    Tables 2-3.  caqr3d candidates carrying a ``delta`` use Theorem 1's
+    *leading-term* triple -- the same fidelity as the baselines' Theta
+    rows, so cross-algorithm comparison (pruning, measurement order) is
+    apples-to-apples; Lemma 7's additive Eq. 13 terms show up in the
+    *measured* triple instead.  Grid-shape knobs (``pr``, ``pc``,
+    ``bb``) do not enter the Theta formulas and are ignored here; they
+    only differentiate candidates at measurement.
+    """
+    kw = {k: v for k, v in c.kwargs().items() if k in ("b", "bstar", "eps", "delta")}
+    if c.algorithm == "caqr3d" and "delta" in kw:
+        triple = cost_theorem1(m, n, c.P, kw["delta"])
+    else:
+        triple = predicted_for(c.algorithm, m, n, c.P, **kw)
+    t = (profile or CostParams()).time(**triple)
+    return Prediction(c, triple, t)
+
+
+def prune(
+    predictions: list[Prediction],
+    prune_factor: float = 1000.0,
+    max_measured: int | None = None,
+) -> tuple[list[Prediction], list[Rejection]]:
+    """Keep candidates within ``prune_factor`` of the predicted best.
+
+    Returns survivors sorted by predicted time (cheapest first -- the
+    order the measurement stage consumes them in, so a wall-clock budget
+    spends itself on the most promising candidates) and a
+    :class:`Rejection` per pruned candidate.
+    """
+    if not predictions:
+        return [], []
+    ranked = sorted(predictions, key=lambda p: p.time)
+    best = ranked[0].time
+    cutoff = best * prune_factor
+    survivors: list[Prediction] = []
+    rejected: list[Rejection] = []
+    for p in ranked:
+        if p.time > cutoff:
+            rejected.append(
+                Rejection(
+                    p.candidate.algorithm, p.candidate.P,
+                    f"predicted {p.time / max(best, 1e-300):.3g}x the best "
+                    f"(prune factor {prune_factor:g})",
+                    p.candidate.params,
+                )
+            )
+        elif max_measured is not None and len(survivors) >= max_measured:
+            rejected.append(
+                Rejection(
+                    p.candidate.algorithm, p.candidate.P,
+                    f"beyond the max_measured = {max_measured} cap",
+                    p.candidate.params,
+                )
+            )
+        else:
+            survivors.append(p)
+    return survivors, rejected

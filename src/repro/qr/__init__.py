@@ -13,6 +13,8 @@ Baselines (Section 8.1): 1D unblocked Householder, 2D blocked
 Householder, caqr.  Shared kernels live in
 :mod:`~repro.qr.householder`; parameter policies in
 :mod:`~repro.qr.params`; validation in :mod:`~repro.qr.validate`.
+
+Paper anchor: Sections 5-8 (all QR algorithms).
 """
 
 from repro.qr.applyq import apply_q_1d, apply_q_3d, form_q_1d, solve_least_squares

@@ -11,6 +11,8 @@ evaluated right-to-left (the paper's arithmetic-minimizing order) with
 1D multiplications when ``V`` is row-distributed with ``T`` on a root,
 or 3D multiplications when ``T`` is distributed (3d-caqr-eg's output
 contract).
+
+Paper anchor: Section 2.3 and Appendix C (applying/forming Q from (V, T)).
 """
 
 from __future__ import annotations

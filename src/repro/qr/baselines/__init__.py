@@ -6,6 +6,8 @@
   block-cyclic Householder, the ScaLAPACK pattern (Table 2 row 1);
 * :func:`~repro.qr.baselines.caqr2d.qr_caqr_2d` -- caqr [DGHL12]:
   d-house with tsqr panels (Table 2 row 2).
+
+Paper anchor: Section 8.1 (comparison baselines).
 """
 
 from repro.qr.baselines.caqr2d import qr_caqr_2d

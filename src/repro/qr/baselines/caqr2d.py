@@ -10,6 +10,8 @@ panel rows.  Near the bottom-right of the matrix some processors own
 fewer; their rows are lent to the panel root for the factorization and
 the matching reflector rows are returned afterwards -- an
 asymptotically negligible fixup confined to the last ``O(pr)`` panels.
+
+Paper anchor: Section 8.1 ([DGHL12] CAQR baseline); Table 2 row 2.
 """
 
 from __future__ import annotations

@@ -10,6 +10,8 @@ messages: latency *linear in n*, the cost tsqr and 1d-caqr-eg remove.
 Same I/O contract as tsqr: each participant owns at least ``n`` rows,
 the root owns the leading ``n`` rows; ``V`` comes back distributed,
 ``T`` and ``R`` on the root.
+
+Paper anchor: Section 8.1 (d-house-1d); Table 3 row 1.
 """
 
 from __future__ import annotations

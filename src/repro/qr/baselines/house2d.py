@@ -10,6 +10,8 @@ With the Section 8.1 grid ``c = Theta((nP/m)^(1/2))`` and ``b = Theta(1)``
 this attains (up to log factors) ``mn^2/P`` flops,
 ``n^2/(nP/m)^(1/2)`` words -- and ``Theta(n log P)`` messages, the
 linear-in-``n`` latency that caqr and 3d-caqr-eg remove.
+
+Paper anchor: Section 8.1 (d-house-2d); Table 2 row 1.
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ trailing matrix with column-group reductions -- the classic
 right-looking ScaLAPACK pdgeqrf communication pattern (paper
 Section 8.1).  They differ only in how the panel is factored, so the
 broadcast and update live here.
+
+Paper anchor: Section 8.1 (2D panel/update machinery).
 """
 
 from __future__ import annotations

@@ -17,6 +17,8 @@ The inductive case maps Algorithm 2's six multiplications onto 1D dmm:
 * line 8 (``X - V M2``): 1D grid with ``I = m`` -- the root broadcasts
   ``M2``, each processor updates its rows
   (:func:`~repro.matmul.mm1d_broadcast` + local subtraction).
+
+Paper anchor: Section 6, Lemma 6, Eq. 10-11, Theorem 2 (1d-caqr-eg).
 """
 
 from __future__ import annotations

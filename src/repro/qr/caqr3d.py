@@ -21,6 +21,8 @@ internally.
 Tradeoff knobs (Eq. 12): ``b = Theta(n/(nP/m)^delta)`` and
 ``b* = Theta(b/(log P)^eps)``; Theorem 1 takes ``delta in [1/2, 2/3]``
 and ``eps = 1``.
+
+Paper anchor: Section 7, Lemma 7, Eq. 12-13, Theorem 1 (3d-caqr-eg).
 """
 
 from __future__ import annotations

@@ -20,6 +20,8 @@ Conventions (verified by the test suite for float64 and complex128):
 * ``Q = I - V T V^H`` is exactly unitary up to rounding, and ``T`` is
   reconstructable from ``V`` alone (real taus make the Puglisi formula
   exact), matching the paper's in-place storage claim.
+
+Paper anchor: Section 2.3 (Householder kernels).
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ The recursion thresholds are the tuning knobs:
 * 3d-caqr-eg:  ``b = Theta(n / (nP/m)^delta)``,
   ``b* = Theta(b / (log P)^eps)``, ``delta in [1/2, 2/3]`` for
   Theorem 1.  ``delta <= 0`` degenerates to 1d-caqr-eg immediately.
+
+Paper anchor: Eq. 10 and Eq. 12 (threshold policies).
 """
 
 from __future__ import annotations

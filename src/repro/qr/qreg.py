@@ -6,6 +6,8 @@ update the right half through the compact representation (Eq. 4),
 recurse, and assemble ``V``, ``T``, ``R`` (Eq. 5).  This is the
 reference implementation the distributed algorithms are tested against,
 and the shape both 1d- and 3d-caqr-eg share.
+
+Paper anchor: Section 2.4, Algorithm 2 (qr-eg).
 """
 
 from __future__ import annotations

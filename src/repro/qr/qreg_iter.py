@@ -20,6 +20,8 @@ analysis:
   latter on the tsqr/1d layout, applying each panel's update with 1D
   multiplications; the basis for integrating into workflows that only
   need ``Q^H b`` (e.g. least squares).
+
+Paper anchor: Sections 2.4 and 8.4 (iterative qr-eg variants).
 """
 
 from __future__ import annotations

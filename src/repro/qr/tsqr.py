@@ -18,6 +18,8 @@ The [BDG+15] variant the paper's Lemma 5 depends on:
 
 Costs (Lemma 5): ``gamma (max_p m_p n^2 + n^3 log P) + beta n^2 log P +
 alpha log P``.
+
+Paper anchor: Section 5, Appendix C (TSQR with Householder reconstruction).
 """
 
 from __future__ import annotations

@@ -3,6 +3,8 @@
 All functions here are *free* (unmetered): they exist for tests,
 examples, and benchmarks to certify results, not for the algorithms
 themselves.
+
+Paper anchor: Section 8 (residual/orthogonality certification).
 """
 
 from __future__ import annotations

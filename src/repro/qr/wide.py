@@ -9,6 +9,8 @@ The result is ``A = Q [R1 R2]`` with ``Q = I - V T V^H`` square
 (``m x m`` basis-kernel with ``V`` ``m x m``... in practice ``V`` is
 ``m x m`` unit lower triangular from the square factorization) and the
 R-factor upper *trapezoidal* ``m x n``.
+
+Paper anchor: Section 2.1 (wide-matrix QR).
 """
 
 from __future__ import annotations

@@ -1,4 +1,7 @@
-"""Small shared utilities: partitions, integer helpers, validation."""
+"""Small shared utilities: partitions, integer helpers, validation.
+
+Paper anchor: Sections 5 and 7 (partitioning helpers behind the row layouts).
+"""
 
 from repro.util.partition import (
     balanced_partition,

@@ -4,6 +4,8 @@ The paper repeatedly needs *balanced* partitions -- partitions of
 ``range(n)`` into ``k`` parts whose sizes differ by at most one (Lemma 4
 and the dmm data distributions) -- and cyclic dealing (the two-phase
 all-to-all of [HBJ96] and the row-cyclic layouts of Section 7).
+
+Paper anchor: Section 5 (balanced block partitions).
 """
 
 from __future__ import annotations

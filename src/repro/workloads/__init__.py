@@ -1,4 +1,7 @@
-"""Workload generators and the shared run harness."""
+"""Workload generators and the shared run harness.
+
+Paper anchor: Section 8 (workloads and run harness).
+"""
 
 from repro.workloads.matrices import (
     GENERATORS,

@@ -4,6 +4,8 @@ The paper's algorithms are direct (not iterative), so conditioning does
 not change the cost; it *does* stress numerical claims -- the tsqr
 reconstruction's stability is exactly why [BDG+15] exists.  The
 generators cover the standard stress cases.
+
+Paper anchor: Section 8 (test matrices).
 """
 
 from __future__ import annotations

@@ -4,6 +4,8 @@
 standard input distribution for that algorithm, validates the result,
 and returns measured critical-path costs -- one row of any table in the
 evaluation.
+
+Paper anchor: Section 8 (the evaluation run harness).
 """
 
 from __future__ import annotations

@@ -73,6 +73,49 @@ class TestMainInProcess:
         for name in ("unit", "cluster", "cloud", "supercomputer"):
             assert name in out
 
+    def test_plan_prints_ranked_table(self, capsys):
+        rc = main(["plan", "--m", "512", "--n", "8", "--P", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for col in ("rank", "algorithm", "t_pred", "t_meas", "candidates measured"):
+            assert col in out
+
+    def test_plan_infeasible_exits_nonzero_with_explanation(self, capsys):
+        rc = main(["plan", "--m", "8", "--n", "64", "--P", "4"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "no feasible candidate" in out
+
+    def test_plan_p_budget_mode(self, capsys):
+        rc = main(["plan", "--m", "4096", "--n", "16", "--P-budget", "8",
+                   "--profile", "supercomputer", "--show", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P in [1, 2, 4, 8]" in out
+
+    def test_plan_run_executes_winner(self, capsys):
+        rc = main(["plan", "--m", "64", "--n", "8", "--P", "4", "--run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner executed numerically" in out
+        assert "residual" in out
+
+    def test_plan_run_infeasible_exits_cleanly(self, capsys):
+        rc = main(["plan", "--m", "8", "--n", "64", "--P", "4", "--run"])
+        assert rc == 1
+        assert "no feasible plan" in capsys.readouterr().out
+
+    def test_plan_rejects_p_and_budget_together(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["plan", "--m", "64", "--n", "8", "--P", "4", "--P-budget", "8"])
+        assert exc.value.code == 2
+
+    def test_plan_custom_profile_triple(self, capsys):
+        rc = main(["plan", "--m", "512", "--n", "8", "--P", "4",
+                   "--profile", "1e-5,4e-9,1e-10"])
+        assert rc == 0
+        assert "custom" in capsys.readouterr().out
+
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit) as exc:
             main(["run", "--alg", "nope", "--m", "8", "--n", "2", "--P", "1"])
@@ -101,6 +144,11 @@ class TestModuleSubprocess:
         proc = run_module("profiles")
         assert proc.returncode == 0, proc.stderr
         assert "supercomputer" in proc.stdout
+
+    def test_plan(self):
+        proc = run_module("plan", "--m", "512", "--n", "8", "--P", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "ranked plans" in proc.stdout
 
     def test_bad_usage_exit_code(self):
         proc = run_module("run", "--alg", "tsqr")  # missing required args

@@ -1,0 +1,83 @@
+"""Documentation contracts: docstring anchors and the paper-to-code map.
+
+Runs the ``tools/`` checkers inside tier 1 so a module merged without a
+docstring (or with a stale ``docs/paper_map.md``) fails the suite, not
+just the CI docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(name, REPO / "tools" / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def check_docstrings():
+    return _load_tool("check_docstrings")
+
+
+@pytest.fixture(scope="module")
+def gen_paper_map():
+    return _load_tool("gen_paper_map")
+
+
+class TestDocstringChecker:
+    def test_library_tree_is_clean(self, check_docstrings, capsys):
+        assert check_docstrings.main(["src/repro"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_detects_missing_docstring(self, check_docstrings, tmp_path):
+        (tmp_path / "bare.py").write_text("x = 1\n")
+        problems = check_docstrings.check_tree(tmp_path)
+        assert len(problems) == 1 and "missing module-level docstring" in problems[0]
+
+    def test_detects_missing_anchor(self, check_docstrings, tmp_path):
+        (tmp_path / "unanchored.py").write_text('"""Docs without a citation."""\n')
+        problems = check_docstrings.check_tree(tmp_path)
+        assert len(problems) == 1 and "Paper anchor" in problems[0]
+
+    def test_nonexistent_path_fails(self, check_docstrings):
+        assert check_docstrings.main(["no/such/tree"]) == 1
+
+
+class TestPaperMap:
+    def test_committed_map_is_current(self, gen_paper_map, capsys):
+        assert gen_paper_map.main(["--check"]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_every_module_has_a_row(self, gen_paper_map):
+        existing = {
+            str(p.relative_to(REPO / "src"))
+            for p in (REPO / "src").rglob("*.py")
+        }
+        assert existing == set(gen_paper_map.MODULE_MAP)
+
+    def test_unmapped_module_is_reported(self, gen_paper_map, monkeypatch):
+        trimmed = dict(gen_paper_map.MODULE_MAP)
+        trimmed.pop("repro/qr/tsqr.py")
+        monkeypatch.setattr(gen_paper_map, "MODULE_MAP", trimmed)
+        _, problems = gen_paper_map.generate()
+        assert any("missing from MODULE_MAP" in p and "tsqr" in p for p in problems)
+
+    def test_bad_benchmark_id_is_reported(self, gen_paper_map, monkeypatch):
+        doctored = dict(gen_paper_map.MODULE_MAP)
+        doctored["repro/qr/tsqr.py"] = (("tests/test_tsqr.py",), ("Z9",))
+        monkeypatch.setattr(gen_paper_map, "MODULE_MAP", doctored)
+        _, problems = gen_paper_map.generate()
+        assert any("'Z9' not in EXPERIMENTS.md" in p for p in problems)
+
+    def test_map_mentions_every_benchmark_family(self):
+        text = (REPO / "docs" / "paper_map.md").read_text()
+        for bench_id in ("T1", "F6", "A1", "K1", "F4b", "P1"):
+            assert bench_id in text

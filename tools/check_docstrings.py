@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Fail when a library module is missing its module-level docstring.
+
+Every module under ``src/repro`` must carry a module docstring, and the
+docstring must cite the paper anchor it implements (a ``Paper anchor:``
+line -- see ``docs/paper_map.md``).  Run from the repo root::
+
+    python tools/check_docstrings.py            # checks src/repro
+    python tools/check_docstrings.py path ...   # checks explicit trees
+
+Exit status 0 when clean, 1 with a listing of offending modules
+otherwise.  CI runs this in the docs job; ``tests/test_docs.py`` runs
+it in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+ANCHOR_PREFIX = "Paper anchor:"
+
+
+def check_tree(root: pathlib.Path) -> list[str]:
+    """Return one problem description per offending module under ``root``."""
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError as exc:  # pragma: no cover - broken tree
+            problems.append(f"{path}: does not parse ({exc})")
+            continue
+        doc = ast.get_docstring(tree)
+        if not doc:
+            problems.append(f"{path}: missing module-level docstring")
+        elif ANCHOR_PREFIX not in doc:
+            problems.append(f"{path}: docstring has no '{ANCHOR_PREFIX}' line")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = (argv if argv is not None else sys.argv[1:]) or ["src/repro"]
+    problems: list[str] = []
+    for arg in args:
+        root = pathlib.Path(arg)
+        if not root.exists():
+            problems.append(f"{root}: no such path")
+            continue
+        problems.extend(check_tree(root))
+    if problems:
+        print("docstring check FAILED:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"docstring check passed ({', '.join(args)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
