@@ -40,6 +40,7 @@ from repro.dist import (
     redistribute_rows,
 )
 from repro.dist.blockcyclic import BlockCyclic2D
+from repro.engine import QRJob, run_many
 from repro.machine import (
     MACHINE_PROFILES,
     CostParams,
@@ -72,10 +73,12 @@ __all__ = [
     "ExplicitRowLayout",
     "MACHINE_PROFILES",
     "Machine",
+    "QRJob",
     "SymbolicArray",
     "__version__",
     "plan",
     "plan_and_run",
+    "run_many",
     "qr_1d_caqr_eg",
     "qr_3d_caqr_eg",
     "qr_caqr_2d",

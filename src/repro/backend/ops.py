@@ -106,14 +106,26 @@ def get_ops(backend: str):
 # Type-dispatched helpers (no machine in scope required)
 # ----------------------------------------------------------------------
 
+def _is_virtual(x: Any) -> bool:
+    """Symbolic or lazy: an array stand-in that must not be coerced."""
+    return is_symbolic(x) or getattr(x, "_repro_lazy_", False)
+
+
 def asarray(x: Any) -> Any:
-    """``np.asarray`` that passes symbolic arrays through untouched."""
-    return x if is_symbolic(x) else np.asarray(x)
+    """``np.asarray`` that passes symbolic/lazy arrays through untouched."""
+    return x if _is_virtual(x) else np.asarray(x)
 
 
 def ascontiguousarray(x: Any) -> Any:
-    """``np.ascontiguousarray`` that passes symbolic arrays through."""
-    return x if is_symbolic(x) else np.ascontiguousarray(x)
+    """``np.ascontiguousarray`` that passes symbolic/lazy arrays through."""
+    return x if _is_virtual(x) else np.ascontiguousarray(x)
+
+
+def _promoted_dtype(a: Any, b: Any) -> np.dtype:
+    dtype = np.result_type(dtype_of(a), dtype_of(b))
+    if dtype.kind in "iub":
+        dtype = np.dtype(np.float64)
+    return dtype
 
 
 def solve_triangular(a: Any, b: Any, **kwargs: Any) -> Any:
@@ -121,13 +133,28 @@ def solve_triangular(a: Any, b: Any, **kwargs: Any) -> Any:
 
     In symbolic mode the solution has ``b``'s shape and the promoted
     dtype; callers charge the flops explicitly, exactly as they do in
-    numeric mode.
+    numeric mode.  With lazy (parallel-backend) operands the solve is
+    deferred as one plan task with the same shape/dtype metadata.
     """
     if is_symbolic(a) or is_symbolic(b):
-        dtype = np.result_type(dtype_of(a), dtype_of(b))
-        if dtype.kind in "iub":
-            dtype = np.dtype(np.float64)
-        return SymbolicArray(np.shape(b) if not is_symbolic(b) else b.shape, dtype)
+        return SymbolicArray(
+            np.shape(b) if not is_symbolic(b) else b.shape, _promoted_dtype(a, b)
+        )
+    if getattr(a, "_repro_lazy_", False) or getattr(b, "_repro_lazy_", False):
+        from repro.engine.lazy import defer
+
+        plan = (a if getattr(a, "_repro_lazy_", False) else b).plan
+        meta = SymbolicArray(
+            b.shape if getattr(b, "_repro_lazy_", False) else np.shape(b),
+            _promoted_dtype(a, b),
+        )
+
+        def run(av, bv):
+            import scipy.linalg
+
+            return scipy.linalg.solve_triangular(av, bv, **kwargs)
+
+        return defer(plan, run, (a, b), meta, label="solve_triangular")
     import scipy.linalg
 
     return scipy.linalg.solve_triangular(a, b, **kwargs)

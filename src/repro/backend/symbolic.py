@@ -43,16 +43,20 @@ def is_symbolic(x: Any) -> bool:
 
 
 def dtype_of(x: Any) -> np.dtype:
-    """dtype of an array-like operand (symbolic, ndarray, or scalar)."""
+    """dtype of an array-like operand (symbolic, lazy, ndarray, or scalar)."""
     if isinstance(x, SymbolicArray):
         return x.dtype
     if isinstance(x, (np.ndarray, np.generic)):
+        return x.dtype
+    if getattr(x, "_repro_lazy_", False):
         return x.dtype
     return np.result_type(x)
 
 
 def _shape_of(x: Any) -> tuple[int, ...]:
     if isinstance(x, SymbolicArray):
+        return x.shape
+    if getattr(x, "_repro_lazy_", False):
         return x.shape
     return np.shape(x)
 

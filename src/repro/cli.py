@@ -35,9 +35,16 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-validate", action="store_true")
     p.add_argument(
-        "--backend", choices=["numeric", "symbolic"], default="numeric",
+        "--backend", choices=["numeric", "symbolic", "parallel"], default="numeric",
         help="symbolic = cost-only execution (no arithmetic, no validation); "
-             "enables paper-scale m/n/P sweeps",
+             "enables paper-scale m/n/P sweeps.  parallel = same metering as "
+             "numeric but the array work runs on a thread pool "
+             "(see --workers and docs/architecture.md)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="thread count for --backend parallel "
+             "(default: available cores, capped at 8)",
     )
 
 
@@ -64,7 +71,7 @@ def _make_input(args):
 def cmd_run(args) -> int:
     A = _make_input(args)
     r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
-               backend=args.backend, **_params_from(args))
+               backend=args.backend, workers=args.workers, **_params_from(args))
     print(format_run_table([r.row()]))
     ph = r.words_by_phase()
     if ph["alltoall"] or ph["dmm"]:
@@ -86,7 +93,8 @@ def cmd_sweep(args) -> int:
     rows = []
     for v in values:
         r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
-                   backend=args.backend, **{**_params_from(args), args.knob: v})
+                   backend=args.backend, workers=args.workers,
+                   **{**_params_from(args), args.knob: v})
         row = r.row()
         row[args.knob] = v
         for name in ("cluster", "cloud", "supercomputer"):

@@ -12,7 +12,20 @@ algorithm families:
   algorithm of [BHK+97] and the two-phase balanced variant of [HBJ96].
 
 :mod:`~repro.collectives.dispatch` auto-selects the cheaper variant per
-Table 1; :mod:`~repro.collectives.bounds` holds the Table 1 formulas.
+Table 1; :mod:`~repro.collectives.bounds` holds the Table 1 formulas;
+:mod:`~repro.collectives.rendezvous` provides the blocking
+synchronization primitives the parallel engine uses to execute these
+collectives on real threads.
+
+>>> import numpy as np
+>>> from repro.machine import Machine
+>>> machine = Machine(4)
+>>> ctx = CommContext.world(machine)
+>>> got = gather(ctx, 0, [np.full(2, float(p)) for p in range(4)])
+>>> [g.tolist() for g in got]
+[[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]]
+>>> int(machine.report().critical_messages)   # binomial-tree gather
+4
 
 Paper anchor: Section 3, Table 1, Appendix A.
 """

@@ -287,6 +287,15 @@ def all_to_all_blocks(
 
     Convenience wrapper over the tagged item interface.  ``method`` is
     ``"two_phase"`` (default, the paper's choice) or ``"index"``.
+
+    >>> import numpy as np
+    >>> from repro.collectives.context import CommContext
+    >>> from repro.machine import Machine
+    >>> ctx = CommContext.world(Machine(2))
+    >>> blocks = [[np.array([10.0 * p + q]) for q in range(2)] for p in range(2)]
+    >>> out = all_to_all_blocks(ctx, blocks)
+    >>> out[1][0].tolist()      # rank 1 received rank 0's block for it
+    [1.0]
     """
     P = ctx.size
     items: list[list[Item]] = [[] for _ in range(P)]

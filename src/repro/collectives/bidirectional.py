@@ -8,6 +8,14 @@ The point of these algorithms -- and the reason 1d-caqr-eg exists -- is
 that for block size ``B`` large relative to ``P`` they move ``O(B)``
 words instead of the binomial tree's ``O(B log P)``.
 
+>>> import numpy as np
+>>> from repro.collectives.context import CommContext
+>>> from repro.machine import Machine
+>>> ctx = CommContext.world(Machine(3))
+>>> everywhere = all_gather(ctx, [np.full(2, float(p)) for p in range(3)])
+>>> [b.tolist() for b in everywhere[1]]    # rank 1 now holds all blocks
+[[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]
+
 Paper anchor: Appendix A.2, Table 1 (bidirectional-exchange collectives).
 """
 

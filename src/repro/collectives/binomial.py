@@ -10,6 +10,17 @@ Cost shapes (Table 1): scatter/gather move ``(P-1)B`` words in ``log P``
 messages along the critical path; broadcast/reduce move ``B log P``
 words in ``log P`` messages (reduce also adds ``B log P`` flops).
 
+>>> import numpy as np
+>>> from repro.collectives.context import CommContext
+>>> from repro.machine import Machine
+>>> ctx = CommContext.world(Machine(4))
+>>> out = scatter(ctx, 0, [np.full(3, float(q)) for q in range(4)])
+>>> out[2].tolist()
+[2.0, 2.0, 2.0]
+>>> total = reduce_binomial(ctx, 0, [np.ones(3) for _ in range(4)])
+>>> total.tolist()
+[4.0, 4.0, 4.0]
+
 Paper anchor: Appendix A.1, Table 1 (binomial-tree collectives).
 """
 

@@ -7,6 +7,13 @@ collectives "simultaneously" -- the per-processor clocks in the machine
 make the cost accounting come out as a parallel schedule would (paper
 Section 3's simultaneous grid-fiber collectives in Lemma 4).
 
+>>> from repro.machine import Machine
+>>> ctx = CommContext(Machine(8), [2, 4, 6])   # a 3-rank subgroup
+>>> ctx.size, ctx.global_rank(1), ctx.group_rank(6)
+(3, 4, 2)
+>>> CommContext.world(Machine(2)).ranks
+[0, 1]
+
 Paper anchor: Section 3 (processor groups executing collectives).
 """
 

@@ -1,0 +1,128 @@
+"""Blocking rendezvous primitives for genuinely concurrent collectives.
+
+When the parallel engine (:mod:`repro.engine`) executes a plan on real
+threads, every cross-rank value handoff inside a collective -- a tree
+edge of a binomial scatter/gather/broadcast/reduce, a pairwise leg of a
+bidirectional exchange, a routed bundle of an all-to-all -- goes through
+one of these primitives instead of plain shared memory:
+
+* :class:`Rendezvous` -- a one-shot single-producer slot.  The producer
+  :meth:`~Rendezvous.put`\\ s exactly once; any number of consumers
+  :meth:`~Rendezvous.get` the value, blocking until it is published.
+  This is the send/recv pair of the machine model made physical.
+* :class:`Barrier` -- an N-party barrier with a timeout, for phase
+  separation between collective rounds.
+
+Both carry a *timeout*: a consumer that would wait forever (a cycle, a
+lost producer, a crashed worker) raises :class:`RendezvousTimeout`
+instead of deadlocking, which is what the engine's no-deadlock guard
+tests exercise for every collective.
+
+>>> rv = Rendezvous()
+>>> rv.put(41 + 1)
+>>> rv.get(timeout=1.0)
+42
+
+Paper anchor: Section 3 (send/receive happens-before edges), Appendix A
+(the collectives these rendezvous synchronize at execution time).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["Barrier", "Rendezvous", "RendezvousError", "RendezvousTimeout"]
+
+#: Default seconds a consumer waits before declaring a deadlock.
+DEFAULT_TIMEOUT = 120.0
+
+
+class RendezvousError(RuntimeError):
+    """A rendezvous protocol violation (e.g. two puts into one slot)."""
+
+
+class RendezvousTimeout(RendezvousError):
+    """A blocking wait exceeded its timeout (deadlock guard tripped)."""
+
+
+class Rendezvous:
+    """One-shot single-producer, multi-consumer value slot.
+
+    The producing task publishes its value once with :meth:`put`; every
+    consumer that depends on it across a rank boundary blocks in
+    :meth:`get` until the value is available.  The slot never resets --
+    a second ``put`` is a protocol violation and raises.
+    """
+
+    __slots__ = ("_event", "_value", "_label")
+
+    def __init__(self, label: str = "") -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._label = label
+
+    @property
+    def ready(self) -> bool:
+        """True once the producer has published."""
+        return self._event.is_set()
+
+    def put(self, value: Any) -> None:
+        """Publish ``value`` and wake every waiting consumer."""
+        if self._event.is_set():
+            raise RendezvousError(
+                f"rendezvous {self._label!r} received a second put"
+            )
+        self._value = value
+        self._event.set()
+
+    def get(self, timeout: float = DEFAULT_TIMEOUT) -> Any:
+        """Block until the value is published, then return it.
+
+        Raises :class:`RendezvousTimeout` after ``timeout`` seconds --
+        the engine's guard against a send that never happens.
+        """
+        if not self._event.wait(timeout):
+            raise RendezvousTimeout(
+                f"rendezvous {self._label!r} timed out after {timeout}s "
+                "(sender never published; possible deadlock)"
+            )
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ready" if self.ready else "pending"
+        return f"Rendezvous({self._label!r}, {state})"
+
+
+class Barrier:
+    """An N-party barrier with a deadlock-guard timeout.
+
+    Thin wrapper over :class:`threading.Barrier` that converts the
+    stdlib's ``BrokenBarrierError`` into :class:`RendezvousTimeout` so
+    engine code handles one timeout exception type.
+    """
+
+    __slots__ = ("_barrier", "_label")
+
+    def __init__(self, parties: int, label: str = "") -> None:
+        if parties < 1:
+            raise RendezvousError(f"Barrier requires parties >= 1, got {parties}")
+        self._barrier = threading.Barrier(parties)
+        self._label = label
+
+    @property
+    def parties(self) -> int:
+        return self._barrier.parties
+
+    def wait(self, timeout: float = DEFAULT_TIMEOUT) -> int:
+        """Block until all parties arrive; returns this party's index."""
+        try:
+            return self._barrier.wait(timeout)
+        except threading.BrokenBarrierError:
+            raise RendezvousTimeout(
+                f"barrier {self._label!r} timed out after {timeout}s "
+                f"({self._barrier.n_waiting}/{self._barrier.parties} arrived)"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Barrier(parties={self.parties}, {self._label!r})"

@@ -13,6 +13,21 @@ Construction and harness-side conversion (``from_global`` /
 that moves data between processors flows through
 :class:`~repro.machine.Machine` and is accounted on the critical path.
 
+>>> import numpy as np
+>>> from repro.machine import Machine
+>>> machine = Machine(2)
+>>> A = np.arange(12.0).reshape(4, 3)
+>>> dA = DistMatrix.from_global(machine, A, BlockRowLayout([2, 2]))
+>>> dA.local(1)                      # rank 1 owns the last two rows
+array([[ 6.,  7.,  8.],
+       [ 9., 10., 11.]])
+>>> moved = redistribute_rows(dA, CyclicRowLayout(4, 2))
+>>> moved.local(1)                   # now rank 1 owns rows 1 and 3
+array([[ 3.,  4.,  5.],
+       [ 9., 10., 11.]])
+>>> machine.report().total_words_sent   # metered: 6 words, 2 hops each
+12
+
 Paper anchor: Sections 5-8 (data distributions beneath every algorithm).
 """
 

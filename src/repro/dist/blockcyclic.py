@@ -40,6 +40,11 @@ def choose_grid_2d(m: int, n: int, P: int) -> tuple[int, int]:
     and ``pr = P // pc``, so ``pr * pc <= P``.  Square matrices get a
     square-ish grid; very tall ones an almost-1D grid (``pc -> 1``),
     recovering the 1D distribution tsqr wants.
+
+    >>> choose_grid_2d(1024, 1024, 16)    # square matrix: square grid
+    (4, 4)
+    >>> choose_grid_2d(65536, 64, 16)     # tall-skinny: almost 1D
+    (16, 1)
     """
     if m < 1 or n < 1:
         raise DistributionError(f"choose_grid_2d requires m, n >= 1, got ({m}, {n})")

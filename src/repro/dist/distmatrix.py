@@ -16,6 +16,20 @@ algorithm step and is metered through :class:`~repro.machine.Machine`:
 see :meth:`DistMatrix.gather_to_root` and
 :func:`~repro.dist.redistribute.redistribute_rows`.
 
+>>> import numpy as np
+>>> from repro.dist import BlockRowLayout
+>>> from repro.machine import Machine
+>>> machine = Machine(2)
+>>> dA = DistMatrix.from_global(
+...     machine, np.eye(4), BlockRowLayout([2, 2]))
+>>> dA.shape, dA.local(0).shape
+((4, 4), (2, 4))
+>>> machine.report().total_words_sent        # from_global is free
+0
+>>> gathered = dA.gather_to_root(0)          # ...but a gather is metered
+>>> int(machine.report().total_words_sent)
+8
+
 Paper anchor: Section 3 (owner-computes execution); Sections 5 and 7 (row distributions).
 """
 

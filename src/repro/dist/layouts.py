@@ -14,6 +14,16 @@ only operations that cost anything are the ones that *move* rows
 :meth:`~repro.dist.distmatrix.DistMatrix.gather_to_root`), and those
 are metered through :class:`~repro.machine.Machine`.
 
+>>> lay = BlockRowLayout([3, 2])        # rank 0: rows 0-2, rank 1: rows 3-4
+>>> lay.rows_of(1).tolist()
+[3, 4]
+>>> cyc = CyclicRowLayout(5, 2)         # deal rows round-robin over 2 ranks
+>>> cyc.rows_of(0).tolist()
+[0, 2, 4]
+>>> tail_layout(cyc, 2).rows_of(0).tolist()   # drop the leading 2 rows;
+[0, 2]
+>>> # rank 0 keeps old rows 2 and 4, renumbered 0 and 2 within the tail.
+
 Paper anchor: Section 5 (block rows); Section 7 (cyclic rows).
 """
 

@@ -1,0 +1,249 @@
+"""``run_many``: a batched QR driver over streams of jobs.
+
+A production QR service does not factor one matrix: it factors a
+*stream* of matrices, most of them shaped like the last one.  This
+driver amortizes the two expensive non-numeric stages across such a
+stream:
+
+* **plan replay** -- the first job of each ``(algorithm, m, n, P,
+  knobs)`` shape builds the parallel backend's execution plan (which
+  meters costs and records every kernel); subsequent jobs *rebind* the
+  plan's input leaves to the new matrix's blocks and re-execute only
+  the array kernels.  All of the Python-side simulation -- clock
+  updates, collective routing, layout arithmetic, ``words_of`` -- is
+  skipped, and the cost report is reused (it is provably identical:
+  same shapes, same plan).  This is what makes the parallel backend's
+  *warm* wall-clock beat the serial numeric driver per job even on a
+  single core (see ``benchmarks/bench_engine.py``).
+* **planner caching** -- with ``plan_with`` set, jobs that do not pin
+  an algorithm ask :func:`repro.planner.plan` to choose one for the
+  target machine profile.  The planner's ranked-plan and measurement
+  caches mean each distinct shape is planned once per stream no matter
+  how many jobs share it.
+
+>>> import numpy as np
+>>> from repro.engine.batch import QRJob, run_many
+>>> rng = np.random.default_rng(0)
+>>> jobs = [QRJob("tsqr", rng.standard_normal((96, 4))) for _ in range(3)]
+>>> results = run_many(jobs, P=4, validate=True)
+>>> [round(r.diagnostics.residual, 10) for r in results]
+[0.0, 0.0, 0.0]
+>>> results[0].report == results[2].report
+True
+
+Paper anchor: Section 8.4 (tuning and re-running across problem
+shapes); Section 3 (replaying the execution DAG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
+from repro.machine import CostParams, Machine, ParameterError
+from repro.qr import qr_1d_caqr_eg, qr_3d_caqr_eg, tsqr
+from repro.qr.validate import QRDiagnostics, qr_diagnostics
+from repro.util import balanced_sizes
+from repro.workloads.sweeps import PARALLEL_ALGORITHMS, RunResult, run_qr
+
+__all__ = ["QRJob", "clear_plan_cache", "run_many"]
+
+
+@dataclass
+class QRJob:
+    """One QR factorization request in a :func:`run_many` stream.
+
+    ``algorithm=None`` asks the planner to choose (requires
+    ``plan_with`` on the driver call).
+    """
+
+    algorithm: str | None
+    A: np.ndarray
+    P: int | None = None
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class _CachedPlan:
+    """A built parallel plan keyed by job shape, ready for replay."""
+
+    machine: Machine
+    layout: Any
+    lazy_factors: tuple  # (V, T, R) lazy global arrays
+    report: Any
+    words_by_label: dict
+
+
+#: shape key -> _CachedPlan.  Plans hold their machine (and its engine),
+#: so replays across run_many calls in one process also hit.
+_PLAN_CACHE: dict[tuple, _CachedPlan] = {}
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached execution plan (tests and memory control)."""
+    _PLAN_CACHE.clear()
+
+
+def _job_key(
+    alg: str, m: int, n: int, P: int, dtype, params: dict,
+    workers: int | None, cost_params: CostParams | None,
+) -> tuple:
+    # workers and cost_params are part of plan identity: a cached plan
+    # carries its machine's engine configuration and its report.
+    return (
+        alg, m, n, P, np.dtype(dtype).str, tuple(sorted(params.items())),
+        workers, cost_params,
+    )
+
+
+def _build(
+    alg: str, A: np.ndarray, P: int, params: dict,
+    workers: int | None, cost_params: CostParams | None,
+) -> _CachedPlan:
+    """First job of a shape: run the full driver once, keep the plan."""
+    machine = Machine(P, params=cost_params, backend="parallel", workers=workers)
+    m, n = A.shape
+    if alg in ("tsqr", "caqr1d"):
+        layout = BlockRowLayout(balanced_sizes(m, P))
+        dA = DistMatrix.from_global(machine, A, layout)
+        if alg == "tsqr":
+            res = tsqr(dA, root=0)
+        else:
+            res = qr_1d_caqr_eg(
+                dA, root=0, b=params.get("b"), eps=params.get("eps", 1.0)
+            )
+        lazy = (res.V.to_global(), res.T, res.R)
+    else:  # caqr3d
+        layout = CyclicRowLayout(m, P)
+        dA = DistMatrix.from_global(machine, A, layout)
+        res = qr_3d_caqr_eg(
+            dA,
+            b=params.get("b"),
+            bstar=params.get("bstar"),
+            delta=params.get("delta", 0.5),
+            eps=params.get("eps", 1.0),
+            method=params.get("method", "two_phase"),
+        )
+        lazy = (res.V.to_global(), res.T.to_global(), res.R.to_global())
+    if len(machine.plan.inputs) != len(layout.participants()):
+        raise ParameterError(
+            f"plan registered {len(machine.plan.inputs)} input leaves for "
+            f"{len(layout.participants())} blocks; replay would be unsafe"
+        )
+    return _CachedPlan(
+        machine=machine,
+        layout=layout,
+        lazy_factors=lazy,
+        report=machine.report(),
+        words_by_label=dict(machine.words_by_label),
+    )
+
+
+def _replay(cached: _CachedPlan, A: np.ndarray) -> tuple:
+    """Re-execute a cached plan against a new same-shape input."""
+    machine = cached.machine
+    layout = cached.layout
+    # The input leaves were registered block by block, in participant
+    # order, when DistMatrix.from_global coerced the first job's blocks
+    # -- redistribute the new matrix the same deterministic way.
+    blocks = [
+        np.ascontiguousarray(A[layout.rows_of(p), :])
+        for p in layout.participants()
+    ]
+    machine.plan.rebind(blocks)
+    machine.plan.reset()
+    machine.engine.execute(machine.plan)
+    from repro.engine.lazy import resolve
+
+    return resolve(cached.lazy_factors)
+
+
+def run_many(
+    jobs: Sequence[QRJob],
+    P: int | None = None,
+    workers: int | None = None,
+    validate: bool = False,
+    plan_with: str | CostParams | None = None,
+    cost_params: CostParams | None = None,
+) -> list[RunResult]:
+    """Factor a stream of matrices, amortizing plans across the stream.
+
+    Parameters
+    ----------
+    jobs:
+        The request stream.  Jobs naming an algorithm in
+        ``PARALLEL_ALGORITHMS`` run on the parallel engine with plan
+        replay; other algorithms fall back to the one-shot numeric
+        driver (:func:`repro.workloads.run_qr`).
+    P:
+        Default processor count for jobs that do not set one.
+    workers:
+        Engine thread count (parallel jobs).
+    validate:
+        Compute residual/orthogonality diagnostics per job.
+    plan_with:
+        Machine profile name or :class:`CostParams`; jobs with
+        ``algorithm=None`` ask :func:`repro.planner.plan` to choose the
+        algorithm and knobs for this profile (the planner's caches make
+        repeats free).
+    cost_params:
+        Cost parameters for the executing machines (replayed jobs reuse
+        the first job's report, which is shape-determined).
+    """
+    results: list[RunResult] = []
+    for job in jobs:
+        A = np.asarray(job.A)
+        m, n = A.shape
+        P_job = job.P if job.P is not None else P
+        if P_job is None:
+            raise ParameterError("job has no P and run_many was given no default")
+        alg, params = job.algorithm, dict(job.params)
+        if alg is None:
+            if plan_with is None:
+                raise ParameterError(
+                    "job has algorithm=None; pass plan_with= to let the "
+                    "planner choose"
+                )
+            from repro.planner import plan as planner_plan
+            from repro.planner import resolve_profile
+
+            ranked = planner_plan(m, n, P_job, profile=resolve_profile(plan_with))
+            best = ranked.best()
+            if best is None:
+                raise ParameterError(
+                    f"planner found no feasible algorithm for "
+                    f"(m={m}, n={n}, P={P_job}):\n{ranked.explain()}"
+                )
+            alg = best.candidate.algorithm
+            P_job = best.candidate.P
+            params = {**best.candidate.kwargs(), **params}
+        if alg not in PARALLEL_ALGORITHMS:
+            results.append(
+                run_qr(alg, A, P=P_job, cost_params=cost_params,
+                       validate=validate, **params)
+            )
+            continue
+
+        key = _job_key(alg, m, n, P_job, A.dtype, params, workers, cost_params)
+        cached = _PLAN_CACHE.get(key)
+        if cached is None:
+            cached = _build(alg, A, P_job, params, workers, cost_params)
+            _PLAN_CACHE[key] = cached
+            V, T, R = cached.machine.materialize(cached.lazy_factors)
+        else:
+            V, T, R = _replay(cached, A)
+        diag = (
+            qr_diagnostics(A, V, T, R)
+            if validate
+            else QRDiagnostics(0.0, 0.0, 0.0, 0.0, 0.0)
+        )
+        results.append(
+            RunResult(
+                alg, m, n, P_job, params, cached.report, diag,
+                words_by_label=dict(cached.words_by_label),
+            )
+        )
+    return results

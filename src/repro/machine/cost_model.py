@@ -81,6 +81,10 @@ class CostReport:
     ``total_*`` are sums over all processors (volume, not critical path),
     useful for sanity checks and for energy-style accounting.  Words and
     messages are discrete events, so their totals are exact integers.
+
+    ``docs/cost_model.md`` documents the full accounting contract:
+    which fields are exact integers, which are exact-valued floats,
+    and which are model predictions.
     """
 
     processors: int

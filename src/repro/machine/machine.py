@@ -82,13 +82,16 @@ def words_of(payload: Any) -> int:
         return payload.words
     if isinstance(payload, (int, float, complex, np.generic)):
         return 1
+    if getattr(payload, "_repro_lazy_", False):
+        # LazyArray (parallel backend): sized eagerly via its metadata.
+        return int(payload.size)
     if isinstance(payload, (list, tuple)):
         # Fast path: collectives mostly send `[Meta, array, array, ...]`
         # lists, so short-circuit the recursion for those items.
         total = 0
         for item in payload:
             cls = item.__class__
-            if cls is np.ndarray or cls is SymbolicArray:
+            if cls is np.ndarray or cls is SymbolicArray or getattr(cls, "_repro_lazy_", False):
                 total += item.size
             elif cls is Meta:
                 continue
@@ -120,7 +123,16 @@ class Machine:
         runs the identical task stream over shape-only
         :class:`~repro.backend.SymbolicArray` data, producing a
         byte-identical :class:`CostReport` without doing any flops --
-        the mode benchmark sweeps use at paper-scale ``P``.
+        the mode benchmark sweeps use at paper-scale ``P``;
+        ``"parallel"`` meters like numeric (identically on generic
+        data -- flop masks for degenerate ``tau = 0`` columns use the
+        symbolic backend's generic-data convention) but *defers* the
+        array arithmetic into an execution plan that
+        :meth:`materialize` runs on a thread pool with real
+        rendezvous at every cross-rank edge (see :mod:`repro.engine`).
+    workers:
+        Thread count for the parallel backend's engine (ignored
+        otherwise); defaults to the available cores, capped at 8.
     """
 
     def __init__(
@@ -129,12 +141,29 @@ class Machine:
         params: CostParams | None = None,
         trace: bool = False,
         backend: str = "numeric",
+        workers: int | None = None,
     ) -> None:
         if P < 1:
             raise MachineError(f"Machine requires P >= 1, got {P}")
         self.P = P
         self.params = params if params is not None else CostParams()
-        self.ops = get_ops(backend)
+        self.workers = workers
+        if backend == "parallel":
+            # Imported on demand: the machine layer must not depend on
+            # the engine at module load time (the engine's executor
+            # imports the collectives' rendezvous primitives, which sit
+            # above this module in the package graph).
+            from repro.engine import Engine, ParallelOps, Plan, receive
+
+            self.plan = Plan()
+            self.ops = ParallelOps(self.plan)
+            self.engine = Engine(workers)
+            self._receive = receive
+        else:
+            self.plan = None
+            self.engine = None
+            self._receive = None
+            self.ops = get_ops(backend)
         self.backend = backend
         self.clocks = ClockSet(P, self.params.alpha, self.params.beta, self.params.gamma)
         self.trace: Trace | None = Trace() if trace else None
@@ -152,6 +181,29 @@ class Machine:
     def symbolic(self) -> bool:
         """True when this machine executes in cost-only symbolic mode."""
         return self.ops.symbolic
+
+    @property
+    def parallel(self) -> bool:
+        """True when this machine defers work into an execution plan."""
+        return self.plan is not None
+
+    def materialize(self, obj: Any = None, timeout: float | None = None) -> Any:
+        """Execute the pending plan; return ``obj`` with values resolved.
+
+        On a parallel machine this runs every recorded task on the
+        engine's thread pool (cross-rank handoffs through blocking
+        rendezvous, guarded by ``timeout`` seconds per wait) and
+        replaces the lazy arrays inside ``obj`` -- nested lists,
+        tuples, and dicts included -- by their computed ndarrays.  On
+        serial machines it returns ``obj`` unchanged, so driver code
+        can call it unconditionally.
+        """
+        if self.plan is None:
+            return obj
+        from repro.engine import resolve
+
+        self.engine.execute(self.plan, timeout=timeout)
+        return resolve(obj) if obj is not None else None
 
     # ------------------------------------------------------------------
     # Validation helpers
@@ -204,6 +256,10 @@ class Machine:
         self.words_by_label[key] = self.words_by_label.get(key, 0) + w
         if self.trace is not None:
             self.trace.append("recv", dst, peer=src, words=w, match=send_idx, label=label)
+        if self._receive is not None:
+            # Parallel backend: rebind the delivered payload into the
+            # destination rank's task stream (a real rendezvous edge).
+            return self._receive(self.plan, dst, payload, label=label)
         return payload
 
     def exchange_round(
@@ -221,13 +277,22 @@ class Machine:
 
         Returns the payloads in input order.
         """
+        receive = self._receive
+        out: list[Any] = []
         staged = []
         clocks = self.clocks
         for src, dst, payload in transfers:
             self._check_rank(src)
             self._check_rank(dst)
             if src == dst:
+                out.append(payload)
                 continue
+            if receive is not None:
+                # Parallel backend: bind the delivered payload into the
+                # destination's stream, like transfer() does.
+                out.append(receive(self.plan, dst, payload, label=label))
+            else:
+                out.append(payload)
             w = words_of(payload)
             snap = clocks.send(src, w)
             send_idx = -1
@@ -245,11 +310,17 @@ class Machine:
         self.total_messages_sent += len(staged)
         if staged:
             self.words_by_label[key] = self.words_by_label.get(key, 0) + round_words
-        return [payload for _src, _dst, payload in transfers]
+        return out
 
     def barrier(self) -> None:
-        """Zero-cost clock join across all processors (phase separation)."""
+        """Zero-cost clock join across all processors (phase separation).
+
+        On a parallel machine the barrier is also a scheduling join:
+        every task recorded afterwards runs after everything before it.
+        """
         self.clocks.barrier()
+        if self.plan is not None:
+            self.plan.barrier()
 
     # ------------------------------------------------------------------
     # Flop-cost helpers (library-wide conventions)
@@ -289,6 +360,12 @@ class Machine:
 
     def reset(self) -> None:
         """Zero all clocks and counters (reuse the machine across runs)."""
+        if self.plan is not None:
+            from repro.engine import ParallelOps, Plan, receive
+
+            self.plan = Plan()
+            self.ops = ParallelOps(self.plan)
+            self._receive = receive
         self.clocks = ClockSet(self.P, self.params.alpha, self.params.beta, self.params.gamma)
         self.total_flops = 0.0
         self.total_words_sent = 0

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import SymbolicArray, dtype_of
+from repro.engine import defer
 from repro.machine import Machine
 
 
@@ -26,15 +28,29 @@ def local_mm(
     """``C = op(A) @ op(B)`` on processor ``p``, charging ``IJ(2K-1)`` flops.
 
     ``conj_a`` / ``conj_b`` apply conjugate transposition to the operand
-    (the ``(.)^H`` of the paper; plain transpose for real dtypes).
+    (the ``(.)^H`` of the paper; plain transpose for real dtypes).  On a
+    parallel machine the multiply is one deferred rank-``p`` task.
     """
+    I, K = A.shape[::-1] if conj_a else A.shape
+    K2, J = B.shape[::-1] if conj_b else B.shape
+    if K != K2:
+        raise ValueError(
+            f"inner dimensions disagree: {(I, K)} @ {(K2, J)} "
+            f"(from {A.shape} and {B.shape})"
+        )
+    machine.compute(p, Machine.flops_gemm(I, J, K), label=label)
+    if machine.parallel:
+        meta = SymbolicArray((I, J), np.result_type(dtype_of(A), dtype_of(B)))
+        return defer(
+            machine.plan,
+            lambda Av, Bv: (Av.conj().T if conj_a else Av) @ (Bv.conj().T if conj_b else Bv),
+            (A, B),
+            meta,
+            rank=p,
+            label=label,
+        )
     opA = A.conj().T if conj_a else A
     opB = B.conj().T if conj_b else B
-    I, K = opA.shape
-    K2, J = opB.shape
-    if K != K2:
-        raise ValueError(f"inner dimensions disagree: {opA.shape} @ {opB.shape}")
-    machine.compute(p, Machine.flops_gemm(I, J, K), label=label)
     return opA @ opB
 
 

@@ -30,7 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backend import SymbolicArray, is_symbolic, solve_triangular
+from repro.backend import SymbolicArray, dtype_of, is_symbolic, solve_triangular
+from repro.engine import defer, is_lazy
 from repro.machine import Machine
 
 
@@ -163,6 +164,10 @@ def local_geqrt(
     * **symbolic machine** -- cost-only: the closed-form flop counts are
       charged (assuming generic data, i.e. every ``tau != 0``) and
       shape-only stand-ins are returned;
+    * **parallel machine** -- the same closed-form counts are charged
+      eagerly and the whole panel factorization is deferred as one
+      rank-``p`` task of the execution plan (the unit of real
+      concurrency across panels);
     * **blocked** (numeric default for real dtypes) -- LAPACK ``geqrf``
       via ``scipy.linalg.qr(..., mode='raw')``, post-corrected to this
       library's always-reflect convention, plus the blocked T
@@ -183,6 +188,33 @@ def local_geqrt(
             T=SymbolicArray((n, n), dtype),
             R=SymbolicArray((n, n), dtype),
         )
+
+    if machine.parallel or is_lazy(A):
+        if not machine.parallel:
+            raise TypeError("lazy array given to a non-parallel machine")
+        m, n = A.shape
+        if m < n:
+            raise ValueError(f"local_geqrt requires m >= n, got {A.shape}")
+        dtype = np.result_type(A.dtype, np.float64)
+        # Charged eagerly under the generic-data assumption (every
+        # tau != 0), the same convention the symbolic backend uses; the
+        # deferred kernel runs the identical numeric path at execution.
+        machine.compute(p, _geqrt_factor_flops(m, n), label="geqrt_factor")
+        machine.compute(p, _t_from_v_flops(m, n), label="t_from_v")
+        metas = (
+            SymbolicArray((m, n), dtype),
+            SymbolicArray((n, n), dtype),
+            SymbolicArray((n, n), dtype),
+        )
+        V, T, R = defer(
+            machine.plan,
+            lambda a: _geqrt_arrays(a, blocked),
+            (A,),
+            metas,
+            rank=p,
+            label="geqrt",
+        )
+        return PanelQR(V=V, T=T, R=R)
 
     A = np.asarray(A)
     m, n = A.shape
@@ -226,6 +258,34 @@ def local_geqrt(
     T = t_from_v(machine, p, V, taus)
     R = np.triu(work[:n, :])
     return PanelQR(V=V, T=T, R=R)
+
+
+class _Unmetered:
+    """Machine stand-in whose ``compute`` is a no-op (stateless, thread-safe).
+
+    The parallel engine's thunks run :func:`local_geqrt`'s numeric path
+    against this so the factorization logic stays in one place without
+    re-charging (or even constructing) clocks on the replay hot path;
+    costs were already charged when the task was recorded.
+    """
+
+    parallel = False
+    symbolic = False
+
+    @staticmethod
+    def compute(p: int, flops: float, label: str = "") -> None:
+        pass
+
+
+_UNMETERED = _Unmetered()
+
+
+def _geqrt_arrays(
+    A: np.ndarray, blocked: bool | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pure (unmetered) panel factorization: the parallel engine's thunk."""
+    pan = local_geqrt(_UNMETERED, 0, A, blocked=blocked)
+    return pan.V, pan.T, pan.R
 
 
 def _geqrt_blocked(work: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -323,17 +383,33 @@ def apply_wy(
 
     Evaluated right-to-left as the paper prescribes for Eq. 4:
     ``M1 = V^H C``; ``M2 = T M1`` (or ``T^H M1``); ``C - V M2``.
+    On a parallel machine the whole application is one deferred
+    rank-``p`` task.
     """
     m, n = V.shape
     k = C.shape[1]
+    flops = (
+        Machine.flops_gemm(n, k, m) + Machine.flops_gemm(n, k, n)
+        + Machine.flops_gemm(m, k, n) + m * k
+    )
+    if machine.parallel:
+        machine.compute(p, flops, label="apply_wy")
+        meta = SymbolicArray(
+            (C.shape[0], k),
+            np.result_type(dtype_of(V), dtype_of(T), dtype_of(C)),
+        )
+        return defer(
+            machine.plan,
+            lambda Vv, Tv, Cv: Cv - Vv @ ((Tv.conj().T if adjoint else Tv) @ (Vv.conj().T @ Cv)),
+            (V, T, C),
+            meta,
+            rank=p,
+            label="apply_wy",
+        )
     M1 = V.conj().T @ C
     M2 = (T.conj().T if adjoint else T) @ M1
     out = C - V @ M2
-    machine.compute(
-        p,
-        Machine.flops_gemm(n, k, m) + Machine.flops_gemm(n, k, n) + Machine.flops_gemm(m, k, n) + m * k,
-        label="apply_wy",
-    )
+    machine.compute(p, flops, label="apply_wy")
     return out
 
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.backend import SymbolicArray, is_symbolic, solve_triangular
 from repro.dist import DistMatrix
+from repro.engine import defer, is_lazy
 from repro.machine import DistributionError
 from repro.qr.householder import PanelQR, apply_wy, local_geqrt, sgn
 from repro.util import ceil_div
@@ -67,13 +68,67 @@ def pack_triu(R: np.ndarray) -> np.ndarray:
     return R[_triu_indices(n)]
 
 
+def _unpack_triu_arrays(packed: np.ndarray, n: int) -> np.ndarray:
+    R = np.zeros((n, n), dtype=packed.dtype)
+    R[_triu_indices(n)] = packed
+    return R
+
+
 def unpack_triu(packed: np.ndarray, n: int) -> np.ndarray:
     """Inverse of :func:`pack_triu` (free: local unpacking)."""
     if is_symbolic(packed):
         return SymbolicArray((n, n), packed.dtype)
-    R = np.zeros((n, n), dtype=packed.dtype)
-    R[_triu_indices(n)] = packed
-    return R
+    if is_lazy(packed):
+        return defer(
+            packed.plan,
+            lambda pv: _unpack_triu_arrays(pv, n),
+            (packed,),
+            SymbolicArray((n, n), packed.dtype),
+            label="unpack_triu",
+        )
+    return _unpack_triu_arrays(packed, n)
+
+
+def _lu_flops(n: int) -> float:
+    """Flops of the reconstruction's LU loop (unconditional per column).
+
+    All terms are exact integers, so the vectorized sum is bit-identical
+    to the sequential accumulation of the reference loop.
+    """
+    j = np.arange(n - 1, dtype=np.float64)
+    return float(np.sum(3.0 * (n - j - 1.0) * (n - j)))
+
+
+def _reconstruct_arrays(
+    X: np.ndarray, R_tree: np.ndarray, n: int, dtype
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pure Householder reconstruction ([BDG+15]): ``(U, L, T, R)``.
+
+    ``T = U S^H L^{-H}``;  ``R = -S R_tree``.
+
+    Derivation (fixes a conjugation slip in the paper's App. C.2 for
+    complex data): Householder QR of the orthonormal W gives
+    ``W = Q_w [R_w; 0]`` with ``R_w = diag(d)`` unitary, so
+    ``W + [S; 0] = V (T V_top^H S) =: L U`` with ``S = -R_w``, whence
+    ``T = U S^H L^{-H}`` and ``A = Q_w [R_w R_tree; 0]``, i.e. the new
+    R-factor is ``R_w R_tree = -S R_tree`` (not ``-S^H R_tree``; they
+    agree in the real case the reference implementation targets).
+    """
+    Xhat = X.astype(dtype, copy=True)
+    S = np.zeros(n, dtype=dtype)
+    Lfac = np.eye(n, dtype=dtype)
+    for j in range(n):
+        S[j] = sgn(Xhat[j, j])
+        Xhat[j, j] += S[j]
+        if j + 1 < n:
+            Lfac[j + 1 :, j] = Xhat[j + 1 :, j] / Xhat[j, j]
+            Xhat[j + 1 :, j + 1 :] -= np.multiply.outer(Lfac[j + 1 :, j], Xhat[j, j + 1 :])
+            Xhat[j + 1 :, j] = 0.0
+    U = np.triu(Xhat)
+    M = solve_triangular(Lfac, np.diag(S), lower=True, unit_diagonal=True)
+    T = U @ M.conj().T
+    R = -S[:, None] * R_tree
+    return U, Lfac, T, R
 
 
 def check_tsqr_distribution(A: DistMatrix, root: int) -> list[int]:
@@ -161,47 +216,33 @@ def tsqr(A: DistMatrix, root: int = 0) -> TSQRResult:
     # ------------------------------------------------------------------
     X = W[root][:n]  # rows of W at global indices 0..n-1 (root owns them)
     if machine.symbolic:
-        # Cost-only: charge the LU loop's unconditional per-column flops
-        # (exact integers, so the vectorized sum is bit-identical).
-        j = np.arange(n - 1, dtype=np.float64)
-        machine.compute(
-            root, float(np.sum(3.0 * (n - j - 1.0) * (n - j))), label="tsqr_lu"
-        )
+        machine.compute(root, _lu_flops(n), label="tsqr_lu")
         U = SymbolicArray((n, n), dtype)
         Lfac = SymbolicArray((n, n), dtype)
         machine.compute(root, float(n) ** 3, label="tsqr_T")
         T: np.ndarray = SymbolicArray((n, n), dtype)
         machine.compute(root, float(n) * n, label="tsqr_R")
         R: np.ndarray = SymbolicArray((n, n), dtype)
-    else:
-        Xhat = X.astype(dtype, copy=True)
-        S = np.zeros(n, dtype=dtype)
-        Lfac = np.eye(n, dtype=dtype)
-        flops = 0.0
-        for j in range(n):
-            S[j] = sgn(Xhat[j, j])
-            Xhat[j, j] += S[j]
-            if j + 1 < n:
-                Lfac[j + 1 :, j] = Xhat[j + 1 :, j] / Xhat[j, j]
-                Xhat[j + 1 :, j + 1 :] -= np.multiply.outer(Lfac[j + 1 :, j], Xhat[j, j + 1 :])
-                Xhat[j + 1 :, j] = 0.0
-                flops += 3.0 * (n - j - 1) * (n - j)
-        machine.compute(root, flops, label="tsqr_lu")
-        U = np.triu(Xhat)
-
-        # T = U S^H L^{-H};  R = -S R_tree.
-        #
-        # Derivation (fixes a conjugation slip in the paper's App. C.2 for
-        # complex data): Householder QR of the orthonormal W gives
-        # W = Q_w [R_w; 0] with R_w = diag(d) unitary, so
-        # W + [S; 0] = V (T V_top^H S) =: L U with S = -R_w, whence
-        # T = U S^H L^{-H} and A = Q_w [R_w R_tree; 0], i.e. the new
-        # R-factor is R_w R_tree = -S R_tree (not -S^H R_tree; they agree
-        # in the real case the reference implementation targets).
-        M = solve_triangular(Lfac, np.diag(S), lower=True, unit_diagonal=True)
-        T = U @ M.conj().T
+    elif machine.parallel:
+        # Same closed-form charges as the numeric loop accumulates
+        # (exact integers); the value-dependent LU loop itself is one
+        # deferred root task -- its branches run on concrete data.
+        machine.compute(root, _lu_flops(n), label="tsqr_lu")
         machine.compute(root, float(n) ** 3, label="tsqr_T")
-        R = -S[:, None] * R_tree
+        machine.compute(root, float(n) * n, label="tsqr_R")
+        nn = SymbolicArray((n, n), dtype)
+        U, Lfac, T, R = defer(
+            machine.plan,
+            lambda Xv, Rv: _reconstruct_arrays(Xv, Rv, n, dtype),
+            (X, R_tree),
+            (nn, nn, nn, nn),
+            rank=root,
+            label="tsqr_reconstruct",
+        )
+    else:
+        machine.compute(root, _lu_flops(n), label="tsqr_lu")
+        U, Lfac, T, R = _reconstruct_arrays(X, R_tree, n, dtype)
+        machine.compute(root, float(n) ** 3, label="tsqr_T")
         machine.compute(root, float(n) * n, label="tsqr_R")
 
     # ------------------------------------------------------------------

@@ -11,10 +11,17 @@ from repro.workloads.matrices import (
     identity_tall,
     near_rank_deficient,
 )
-from repro.workloads.sweeps import ALGORITHMS, RunResult, format_run_table, run_qr
+from repro.workloads.sweeps import (
+    ALGORITHMS,
+    PARALLEL_ALGORITHMS,
+    RunResult,
+    format_run_table,
+    run_qr,
+)
 
 __all__ = [
     "ALGORITHMS",
+    "PARALLEL_ALGORITHMS",
     "GENERATORS",
     "RunResult",
     "column_scaled",

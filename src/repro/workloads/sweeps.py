@@ -78,6 +78,12 @@ class RunResult:
         return d
 
 
+#: Algorithms the parallel engine can defer end to end.  The 2D/1D
+#: Householder baselines factor column by column on data values, which
+#: has no deferred form -- run those numerically.
+PARALLEL_ALGORITHMS = ("tsqr", "caqr1d", "caqr3d")
+
+
 def run_qr(
     algorithm: str,
     A: np.ndarray | tuple[int, int],
@@ -85,6 +91,7 @@ def run_qr(
     cost_params: CostParams | None = None,
     validate: bool = True,
     backend: str = "numeric",
+    workers: int | None = None,
     **params,
 ) -> RunResult:
     """Run ``algorithm`` on global array ``A`` over ``P`` simulated processors.
@@ -100,6 +107,13 @@ def run_qr(
     feasible.  In that mode ``A`` may be just a shape tuple ``(m, n)``
     (no global array is ever materialized) and validation is
     unavailable.
+
+    ``backend="parallel"`` meters like numeric (identically on generic
+    data; degenerate ``tau = 0`` columns charge the generic-data
+    closed forms, as symbolic mode does) but executes the recorded
+    task plan on ``workers`` threads (see :mod:`repro.engine`);
+    results and validation are identical to the numeric backend within
+    floating-point reproducibility.
     """
     if isinstance(A, tuple):
         if backend != "symbolic":
@@ -114,8 +128,13 @@ def run_qr(
         raise ParameterError("symbolic input requires backend='symbolic'")
     else:
         A = np.asarray(A)
+    if backend == "parallel" and algorithm not in PARALLEL_ALGORITHMS:
+        raise ParameterError(
+            f"backend='parallel' supports {PARALLEL_ALGORITHMS}; "
+            f"run {algorithm!r} with backend='numeric'"
+        )
     m, n = A.shape
-    machine = Machine(P, params=cost_params, backend=backend)
+    machine = Machine(P, params=cost_params, backend=backend, workers=workers)
 
     if algorithm in ("tsqr", "house1d", "caqr1d"):
         layout = BlockRowLayout(balanced_sizes(m, P))
@@ -153,6 +172,10 @@ def run_qr(
     else:
         raise KeyError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
 
+    if machine.parallel:
+        # Run the recorded plan on the engine's thread pool and swap
+        # the lazy factors for their computed values.
+        V, T, R = machine.materialize((V, T, R))
     report = machine.report()
     diag = (
         qr_diagnostics(A, V, T, R)

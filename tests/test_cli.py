@@ -43,6 +43,13 @@ class TestMainInProcess:
         for col in ("flops", "words", "messages", "residual", "caqr1d"):
             assert col in out
 
+    def test_run_parallel_backend(self, capsys):
+        rc = main(["run", "--alg", "tsqr", "--m", "128", "--n", "8", "--P", "4",
+                   "--backend", "parallel", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tsqr" in out and "residual" in out
+
     def test_run_caqr3d_reports_phase_volume(self, capsys):
         # b < n forces the inductive case, whose dmm redistributions
         # produce the all-to-all phase traffic the CLI reports.

@@ -32,6 +32,11 @@ def gen_paper_map():
     return _load_tool("gen_paper_map")
 
 
+@pytest.fixture(scope="module")
+def check_docs():
+    return _load_tool("check_docs")
+
+
 class TestDocstringChecker:
     def test_library_tree_is_clean(self, check_docstrings, capsys):
         assert check_docstrings.main(["src/repro"]) == 0
@@ -79,5 +84,40 @@ class TestPaperMap:
 
     def test_map_mentions_every_benchmark_family(self):
         text = (REPO / "docs" / "paper_map.md").read_text()
-        for bench_id in ("T1", "F6", "A1", "K1", "F4b", "P1"):
+        for bench_id in ("T1", "F6", "A1", "K1", "F4b", "P1", "E1"):
             assert bench_id in text
+
+    def test_engine_modules_are_mapped(self, gen_paper_map):
+        engine_rows = [m for m in gen_paper_map.MODULE_MAP if m.startswith("repro/engine/")]
+        assert len(engine_rows) >= 5
+        assert "repro/collectives/rendezvous.py" in gen_paper_map.MODULE_MAP
+
+
+class TestDocsPages:
+    """The documentation tree smoke-renders (structure, links, code)."""
+
+    def test_docs_tree_is_clean(self, check_docs, capsys):
+        assert check_docs.main([]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_required_pages_exist(self, check_docs):
+        for rel in check_docs.REQUIRED:
+            assert (REPO / rel).exists(), rel
+
+    def test_detects_broken_link(self, check_docs, tmp_path):
+        page = tmp_path / "bad.md"
+        page.write_text("# Title\n\nSee [gone](missing.md).\n")
+        problems = check_docs.check_page(page)
+        assert any("broken link" in p for p in problems)
+
+    def test_detects_bad_python_block(self, check_docs, tmp_path):
+        page = tmp_path / "bad.md"
+        page.write_text("# Title\n\n```python\ndef broken(:\n```\n")
+        problems = check_docs.check_page(page)
+        assert any("does not parse" in p for p in problems)
+
+    def test_detects_missing_h1(self, check_docs, tmp_path):
+        page = tmp_path / "bad.md"
+        page.write_text("just prose, no heading\n")
+        problems = check_docs.check_page(page)
+        assert any("h1" in p for p in problems)

@@ -1,0 +1,453 @@
+"""The parallel execution engine: determinism, rendezvous, replay.
+
+Contracts pinned here:
+
+* **determinism** -- ``backend="parallel"`` produces the same factors
+  (to the last bit on this BLAS: the dataflow is identical, only the
+  schedule differs) and the *identical* ``CostReport`` as the serial
+  numeric backend, over an (algorithm, m, n, P, workers) grid;
+* **no deadlock** -- every collective's cross-rank rendezvous completes
+  under a timeout guard, and a genuinely stuck wait raises instead of
+  hanging;
+* **replay** -- ``run_many`` rebinds a cached plan's input leaves and
+  re-executes only the kernels, giving fresh correct factors and the
+  first job's (shape-determined) cost report.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    CommContext,
+    all_gather,
+    all_reduce,
+    all_to_all_blocks,
+    broadcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+)
+from repro.collectives.binomial import broadcast_binomial, reduce_binomial
+from repro.collectives.rendezvous import Barrier, Rendezvous, RendezvousError, RendezvousTimeout
+from repro.engine import (
+    Engine,
+    EngineDeadlockError,
+    EngineExecutionError,
+    LazyArray,
+    Plan,
+    QRJob,
+    clear_plan_cache,
+    is_lazy,
+    run_many,
+)
+from repro.machine import Machine, ParameterError
+from repro.workloads import gaussian, run_qr
+
+#: Generous wall-clock bound for the guard tests: far above any real
+#: completion time, far below "hung forever".
+GUARD_TIMEOUT = 60.0
+
+
+def _pair(alg, m, n, P, workers=2, **params):
+    A = gaussian(m, n, seed=11)
+    num = run_qr(alg, A, P=P, validate=True, **params)
+    par = run_qr(alg, A, P=P, validate=True, backend="parallel",
+                 workers=workers, **params)
+    return num, par
+
+
+class TestDeterminism:
+    """Parallel factors and cost reports match serial numeric exactly."""
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    @pytest.mark.parametrize(
+        "alg,m,n,P",
+        [
+            ("tsqr", 64, 4, 4),
+            ("tsqr", 210, 5, 7),
+            ("caqr1d", 96, 6, 8),
+            ("caqr3d", 64, 32, 8),
+            ("caqr3d", 48, 24, 6),
+        ],
+    )
+    def test_report_and_factors_match_numeric(self, alg, m, n, P, workers):
+        num, par = _pair(alg, m, n, P, workers=workers)
+        assert par.report == num.report
+        assert par.words_by_label == num.words_by_label
+        assert par.diagnostics.ok()
+        # Same dataflow, same kernels: the diagnostics agree to the bit.
+        assert par.diagnostics.residual == num.diagnostics.residual
+
+    def test_caqr1d_with_explicit_b(self):
+        num, par = _pair("caqr1d", 96, 6, 8, b=2)
+        assert par.report == num.report
+        assert par.diagnostics.ok()
+
+    def test_caqr3d_index_alltoall(self):
+        num, par = _pair("caqr3d", 48, 24, 6, method="index")
+        assert par.report == num.report
+        assert par.diagnostics.ok()
+
+    def test_factors_equal_elementwise(self):
+        A = gaussian(128, 8, seed=2)
+        from repro.dist import BlockRowLayout, DistMatrix
+        from repro.qr import tsqr
+        from repro.util import balanced_sizes
+
+        layout = BlockRowLayout(balanced_sizes(128, 4))
+        mn = Machine(4)
+        rn = tsqr(DistMatrix.from_global(mn, A, layout))
+        mp = Machine(4, backend="parallel", workers=2)
+        rp = tsqr(DistMatrix.from_global(mp, A, layout))
+        Vp, Tp, Rp = mp.materialize((rp.V.to_global(), rp.T, rp.R))
+        np.testing.assert_allclose(Vp, rn.V.to_global(), atol=1e-13)
+        np.testing.assert_allclose(Tp, rn.T, atol=1e-13)
+        np.testing.assert_allclose(Rp, rn.R, atol=1e-13)
+
+    def test_degenerate_data_uses_generic_convention(self):
+        # On structured inputs with tau == 0 columns, numeric charges
+        # data-dependent flop masks; parallel (like symbolic) charges
+        # the generic-data closed forms.  The documented contract is
+        # parallel == symbolic always, == numeric on generic data.
+        from repro.workloads import identity_tall
+
+        A = identity_tall(64, 4)
+        par = run_qr("tsqr", A, P=4, backend="parallel", validate=True)
+        sym = run_qr("tsqr", (64, 4), P=4, backend="symbolic")
+        assert par.report == sym.report
+        assert par.diagnostics.ok()
+
+    def test_unsupported_algorithm_is_rejected(self):
+        with pytest.raises(ParameterError, match="parallel"):
+            run_qr("house1d", gaussian(64, 4, seed=1), P=4, backend="parallel")
+
+    def test_materialize_is_noop_on_serial_machines(self):
+        machine = Machine(2)
+        obj = {"x": np.ones(3)}
+        assert machine.materialize(obj) is obj
+
+
+def _parallel_blocks(P, shape=(3, 2), seed=0):
+    """A parallel machine plus per-rank lazy leaves and their values."""
+    rng = np.random.default_rng(seed)
+    values = [rng.standard_normal(shape) for _ in range(P)]
+    machine = Machine(P, backend="parallel", workers=2)
+    lazies = [machine.ops.asarray(v) for v in values]
+    return machine, lazies, values
+
+
+class TestCollectiveRendezvous:
+    """Every collective completes through real rendezvous, under guard.
+
+    Each test drives the collective on a parallel machine (so each
+    cross-rank edge is a blocking Rendezvous handoff at execution
+    time), materializes with a hard timeout, and checks the delivered
+    values against the eager inputs.  A timeout would raise
+    EngineDeadlockError / RendezvousTimeout instead of hanging.
+    """
+
+    @pytest.mark.parametrize("P", [2, 5])
+    def test_binomial_scatter(self, P):
+        machine, lazies, values = _parallel_blocks(P)
+        ctx = CommContext.world(machine)
+        out = scatter(ctx, 0, lazies)
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        for got, want in zip(out, values):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("P", [2, 5])
+    def test_binomial_gather(self, P):
+        machine, lazies, values = _parallel_blocks(P)
+        ctx = CommContext.world(machine)
+        out = gather(ctx, 0, lazies)
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        for got, want in zip(out, values):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("P", [2, 7])
+    def test_binomial_broadcast(self, P):
+        machine, lazies, values = _parallel_blocks(P)
+        ctx = CommContext.world(machine)
+        out = broadcast_binomial(ctx, 0, lazies[0])
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        np.testing.assert_array_equal(out, values[0])
+
+    @pytest.mark.parametrize("P", [2, 5])
+    def test_binomial_reduce(self, P):
+        machine, lazies, values = _parallel_blocks(P)
+        ctx = CommContext.world(machine)
+        out = reduce_binomial(ctx, 0, lazies)
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        np.testing.assert_allclose(out, sum(values), atol=1e-12)
+
+    @pytest.mark.parametrize("P", [3, 6])
+    def test_bidirectional_all_gather(self, P):
+        machine, lazies, values = _parallel_blocks(P)
+        ctx = CommContext.world(machine)
+        out = all_gather(ctx, lazies)
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        for p in range(P):
+            for q in range(P):
+                np.testing.assert_array_equal(out[p][q], values[q])
+
+    @pytest.mark.parametrize("P", [3, 5])
+    def test_bidirectional_reduce_scatter(self, P):
+        machine, lazies, values = _parallel_blocks(P)
+        ctx = CommContext.world(machine)
+        contributions = [[lazies[p] for _ in range(P)] for p in range(P)]
+        out = reduce_scatter(ctx, contributions)
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        total = sum(values)
+        for q in range(P):
+            np.testing.assert_allclose(out[q], total, atol=1e-12)
+
+    @pytest.mark.parametrize("P", [4, 9])
+    def test_dispatched_broadcast_large_block(self, P):
+        # Large blocks route to the bidirectional (scatter + all-gather)
+        # variant; the reassembly must still deliver the exact array.
+        rng = np.random.default_rng(3)
+        value = rng.standard_normal((40, 25))
+        machine = Machine(P, backend="parallel", workers=2)
+        ctx = CommContext.world(machine)
+        out = broadcast(ctx, 0, machine.ops.asarray(value))
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        np.testing.assert_array_equal(out, value)
+
+    @pytest.mark.parametrize("P", [4, 9])
+    def test_dispatched_reduce_and_all_reduce(self, P):
+        machine, lazies, values = _parallel_blocks(P, shape=(12, 9))
+        ctx = CommContext.world(machine)
+        out1 = reduce(ctx, 0, lazies)
+        out2 = all_reduce(ctx, lazies)
+        out1, out2 = machine.materialize((out1, out2), timeout=GUARD_TIMEOUT)
+        np.testing.assert_allclose(out1, sum(values), atol=1e-12)
+        np.testing.assert_allclose(out2, sum(values), atol=1e-12)
+
+    @pytest.mark.parametrize("method", ["two_phase", "index"])
+    @pytest.mark.parametrize("P", [3, 5])
+    def test_all_to_all(self, P, method):
+        rng = np.random.default_rng(7)
+        values = [[rng.standard_normal((p + q + 1,)) for q in range(P)] for p in range(P)]
+        machine = Machine(P, backend="parallel", workers=2)
+        blocks = [[machine.ops.asarray(values[p][q]) for q in range(P)] for p in range(P)]
+        ctx = CommContext.world(machine)
+        out = all_to_all_blocks(ctx, blocks, method=method)
+        out = machine.materialize(out, timeout=GUARD_TIMEOUT)
+        for q in range(P):
+            for p in range(P):
+                np.testing.assert_array_equal(out[q][p], values[p][q])
+
+
+class TestTimeoutGuards:
+    """Stuck waits raise promptly instead of deadlocking."""
+
+    def test_rendezvous_get_times_out(self):
+        t0 = time.perf_counter()
+        with pytest.raises(RendezvousTimeout):
+            Rendezvous("orphan").get(timeout=0.05)
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_rendezvous_double_put_rejected(self):
+        rv = Rendezvous()
+        rv.put(1)
+        with pytest.raises(RendezvousError):
+            rv.put(2)
+
+    def test_barrier_times_out(self):
+        with pytest.raises(RendezvousTimeout):
+            Barrier(2, "half").wait(timeout=0.05)
+
+    def test_engine_deadlock_guard(self):
+        plan = Plan()
+        plan.add(lambda: time.sleep(2.0), rank=0, label="stuck")
+        plan.add(lambda: None, rank=1, label="idle")
+        with pytest.raises(EngineDeadlockError):
+            Engine(workers=2).execute(plan, timeout=0.1)
+
+    def test_engine_propagates_task_errors(self):
+        for workers in (1, 2):
+            plan = Plan()
+
+            def boom():
+                raise ValueError("kernel exploded")
+
+            plan.add(boom, rank=0, label="boom")
+            with pytest.raises(EngineExecutionError, match="kernel exploded"):
+                Engine(workers=workers).execute(plan, timeout=GUARD_TIMEOUT)
+
+
+class TestLazyArray:
+    def _machine(self):
+        return Machine(2, backend="parallel", workers=1)
+
+    def test_protocol_ops_defer_and_match_numpy(self):
+        machine = self._machine()
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((4, 3)), rng.standard_normal((4, 3))
+        la, lb = machine.ops.asarray(a), machine.ops.asarray(b)
+        stacked = np.vstack([la, lb])
+        prod = la.T @ lb
+        sliced = la[1:, :2]
+        assert is_lazy(stacked) and stacked.shape == (8, 3)
+        assert prod.shape == (3, 3)
+        s, p, sl = machine.materialize((stacked, prod, sliced))
+        np.testing.assert_array_equal(s, np.vstack([a, b]))
+        np.testing.assert_allclose(p, a.T @ b, atol=1e-14)
+        np.testing.assert_array_equal(sl, a[1:, :2])
+
+    def test_setitem_is_functional_for_earlier_readers(self):
+        # The engine's write contract: a consumer recorded *before* a
+        # write sees the pre-write value (writes rebind, they do not
+        # mutate shared history).  Algorithms never rely on
+        # mutation-through-views across tasks.
+        machine = self._machine()
+        buf = machine.ops.zeros((2, 2))
+        before = np.add(buf, 0.0)  # reader recorded pre-write
+        buf[0, 0] = 7.0
+        b, after = machine.materialize((before, buf))
+        assert b[0, 0] == 0.0
+        assert after[0, 0] == 7.0
+
+    def test_masked_setitem(self):
+        machine = self._machine()
+        buf = machine.ops.zeros((4, 3))
+        mask = np.array([True, False, True, False])
+        vals = machine.ops.asarray(np.ones((2, 3)))
+        buf[mask, :] = vals
+        out = machine.materialize(buf)
+        np.testing.assert_array_equal(out[mask], np.ones((2, 3)))
+        np.testing.assert_array_equal(out[~mask], np.zeros((2, 3)))
+
+    def test_branching_on_lazy_data_fails_loudly(self):
+        machine = self._machine()
+        la = machine.ops.asarray(np.ones(3))
+        with pytest.raises(TypeError):
+            bool(la > 0)
+        with pytest.raises(TypeError):
+            float(la[0])
+        with pytest.raises(TypeError):
+            np.asarray(la)
+
+    def test_rank_tags_flow_from_kernels(self):
+        machine = Machine(4, backend="parallel", workers=1)
+        from repro.qr.householder import local_geqrt
+
+        pan = local_geqrt(machine, 3, machine.ops.asarray(gaussian(8, 2, seed=0)))
+        assert pan.V.ref.task.rank == 3
+        stats = machine.plan.stats()
+        assert stats["streams"] == 1 and stats["inputs"] == 1
+
+
+class TestRunMany:
+    def setup_method(self):
+        clear_plan_cache()
+
+    def test_replay_produces_fresh_correct_factors(self):
+        rng = np.random.default_rng(9)
+        jobs = [QRJob("tsqr", rng.standard_normal((96, 4))) for _ in range(3)]
+        results = run_many(jobs, P=4, validate=True, workers=1)
+        assert all(r.diagnostics.ok() for r in results)
+        # Shape-determined costs are shared; the data is not.
+        assert results[0].report == results[2].report
+        r0 = run_qr("tsqr", jobs[0].A, P=4, validate=False)
+        assert results[0].report == r0.report
+
+    def test_replay_caqr3d(self):
+        rng = np.random.default_rng(10)
+        jobs = [QRJob("caqr3d", rng.standard_normal((64, 32))) for _ in range(2)]
+        results = run_many(jobs, P=8, validate=True, workers=1)
+        assert all(r.diagnostics.ok() for r in results)
+
+    def test_mixed_shapes_build_separate_plans(self):
+        from repro.engine.batch import _PLAN_CACHE
+
+        rng = np.random.default_rng(11)
+        jobs = [
+            QRJob("tsqr", rng.standard_normal((64, 4))),
+            QRJob("tsqr", rng.standard_normal((96, 4))),
+            QRJob("tsqr", rng.standard_normal((64, 4))),
+        ]
+        run_many(jobs, P=4, workers=1)
+        assert len(_PLAN_CACHE) == 2
+
+    def test_cost_params_and_workers_are_plan_identity(self):
+        from repro.engine.batch import _PLAN_CACHE
+        from repro.machine import MACHINE_PROFILES
+
+        rng = np.random.default_rng(14)
+        A = rng.standard_normal((64, 4))
+        prof = MACHINE_PROFILES["supercomputer"]
+        r_default = run_many([QRJob("tsqr", A)], P=4, workers=1)[0]
+        r_prof = run_many([QRJob("tsqr", A)], P=4, workers=1, cost_params=prof)[0]
+        # The cached report reflects the requested cost parameters...
+        ref = run_qr("tsqr", A, P=4, validate=False, cost_params=prof)
+        assert r_prof.report == ref.report
+        assert r_prof.report.modeled_time != r_default.report.modeled_time
+        # ...and neither cost_params nor workers hit the other's cache.
+        assert len(_PLAN_CACHE) == 2
+        run_many([QRJob("tsqr", A)], P=4, workers=2)
+        assert len(_PLAN_CACHE) == 3
+
+    def test_non_parallel_algorithm_falls_back(self):
+        rng = np.random.default_rng(12)
+        results = run_many(
+            [QRJob("house1d", rng.standard_normal((64, 4)))], P=4, validate=True
+        )
+        assert results[0].algorithm == "house1d"
+        assert results[0].diagnostics.ok()
+
+    def test_planner_chooses_when_algorithm_is_none(self):
+        rng = np.random.default_rng(13)
+        results = run_many(
+            [QRJob(None, rng.standard_normal((256, 8)))],
+            P=4, validate=True, plan_with="cluster",
+        )
+        assert results[0].algorithm in (
+            "tsqr", "caqr1d", "caqr3d", "house1d", "house2d", "caqr2d"
+        )
+        assert results[0].diagnostics.ok()
+
+    def test_missing_planner_profile_is_rejected(self):
+        with pytest.raises(ParameterError, match="plan_with"):
+            run_many([QRJob(None, gaussian(64, 4, seed=0))], P=4)
+
+
+class TestMatmulParallel:
+    def test_mm1d_and_mm3d_match_numeric(self):
+        from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix, head_layout
+        from repro.matmul import Operand, mm1d_broadcast, mm1d_reduce, mm3d
+        from repro.util import balanced_sizes
+
+        A = gaussian(40, 5, seed=7)
+        B = gaussian(40, 5, seed=8)
+        reports, outs = [], []
+        for backend in ("numeric", "parallel"):
+            machine = Machine(4, backend=backend, workers=2)
+            lay = BlockRowLayout(balanced_sizes(40, 4))
+            dA = DistMatrix.from_global(machine, A, lay)
+            dB = DistMatrix.from_global(machine, B, lay)
+            M = mm1d_reduce(dA, dB, 0, conj_a=True)
+            C = mm1d_broadcast(dA, M, 0)
+            out = machine.materialize(C.to_global())
+            reports.append(machine.report())
+            outs.append(out)
+        assert reports[0] == reports[1]
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-12)
+
+        reports, outs = [], []
+        for backend in ("numeric", "parallel"):
+            machine = Machine(6, backend=backend, workers=2)
+            lay = CyclicRowLayout(24, 6)
+            dA = DistMatrix.from_global(machine, gaussian(24, 12, seed=9), lay)
+            dB = DistMatrix.from_global(machine, gaussian(24, 12, seed=10), lay)
+            C = mm3d(Operand(dA, "H"), dB, head_layout(lay, 12))
+            out = machine.materialize(C.to_global())
+            reports.append(machine.report())
+            outs.append(out)
+        assert reports[0] == reports[1]
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-12)

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Smoke-render the documentation tree: structure, links, code blocks.
+
+For every ``docs/*.md`` page (plus the README) this checks, without
+any third-party renderer:
+
+* the page is non-empty, valid UTF-8, and opens with an ``# h1``;
+* every fenced code block is terminated (balanced ``` fences);
+* every fenced ``python`` block parses (``compile()`` — tutorials must
+  not ship syntax errors);
+* every *relative* markdown link resolves to an existing file, and
+  every intra-page anchor (``#section``) matches a heading slug.
+
+Required pages are listed explicitly so deleting one fails loudly.
+Run from the repo root::
+
+    python tools/check_docs.py
+
+Exit status 0 when clean, 1 with a problem listing otherwise.  CI runs
+this in the docs job; ``tests/test_docs.py`` runs it in tier 1.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Pages that must exist (the documentation tree's contract).
+REQUIRED = (
+    "docs/index.md",
+    "docs/architecture.md",
+    "docs/tutorial.md",
+    "docs/cost_model.md",
+    "docs/paper_map.md",
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", flags=re.MULTILINE)
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    s = re.sub(r"[`*_]", "", heading.strip().lower())
+    s = re.sub(r"[^\w\s-]", "", s)
+    return re.sub(r"\s+", "-", s).strip("-")
+
+
+def _check_fences(text: str, name: str) -> list[str]:
+    problems = []
+    fences = re.findall(r"^```(\w*)\s*$", text, flags=re.MULTILINE)
+    if len(fences) % 2:
+        problems.append(f"{name}: unterminated code fence")
+        return problems
+    for block_lang, body in re.findall(
+        r"^```(\w*)\n(.*?)^```\s*$", text, flags=re.MULTILINE | re.DOTALL
+    ):
+        if block_lang == "python":
+            try:
+                compile(body, f"<{name} python block>", "exec")
+            except SyntaxError as exc:
+                problems.append(f"{name}: python block does not parse ({exc})")
+    return problems
+
+
+def _page_name(page: pathlib.Path) -> str:
+    try:
+        return str(page.relative_to(REPO))
+    except ValueError:  # pages outside the repo (tests)
+        return page.name
+
+
+def _check_links(text: str, page: pathlib.Path, slugs: set[str]) -> list[str]:
+    problems = []
+    name = _page_name(page)
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (page.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{name}: broken link -> {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                other_slugs = {
+                    _slug(h) for h in _HEADING.findall(resolved.read_text())
+                }
+                if anchor not in other_slugs:
+                    problems.append(f"{name}: broken anchor -> {target}")
+        elif anchor and anchor not in slugs:
+            problems.append(f"{name}: broken anchor -> #{anchor}")
+    return problems
+
+
+def check_page(page: pathlib.Path) -> list[str]:
+    """Return one problem description per defect in ``page``."""
+    name = _page_name(page)
+    try:
+        text = page.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        return [f"{name}: not valid UTF-8 ({exc})"]
+    if not text.strip():
+        return [f"{name}: empty page"]
+    problems = []
+    first_line = text.lstrip().splitlines()[0]
+    if not first_line.startswith("# "):
+        problems.append(f"{name}: does not open with an '# h1' heading")
+    problems += _check_fences(text, name)
+    slugs = {_slug(h) for h in _HEADING.findall(text)}
+    problems += _check_links(text, page, slugs)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    problems: list[str] = []
+    for rel in REQUIRED:
+        if not (REPO / rel).exists():
+            problems.append(f"{rel}: required page is missing")
+    pages = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    checked = 0
+    for page in pages:
+        if page.exists():
+            problems.extend(check_page(page))
+            checked += 1
+    if problems:
+        print("docs check FAILED:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"docs check passed ({checked} pages)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,7 +60,13 @@ MODULE_MAP: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "repro/collectives/bounds.py": (("tests/test_collective_costs.py",), ("T1",)),
     "repro/collectives/context.py": (("tests/test_collectives.py",), ()),
     "repro/collectives/dispatch.py": (("tests/test_collectives.py",), ("A2",)),
+    "repro/collectives/rendezvous.py": (("tests/test_engine.py",), ("E1",)),
     "repro/dist/__init__.py": (("tests/test_dist.py",), ()),
+    "repro/engine/__init__.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/engine/batch.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/engine/executor.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/engine/lazy.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/engine/plan.py": (("tests/test_engine.py",), ("E1",)),
     "repro/dist/blockcyclic.py": (("tests/test_dist.py",), ("T2",)),
     "repro/dist/distmatrix.py": (
         ("tests/test_dist.py", "tests/test_failure_modes.py"), ()),
@@ -142,12 +148,21 @@ file.**
 
 
 def anchor_of(module_rel: str) -> str | None:
-    """The docstring's ``Paper anchor:`` payload, or None."""
+    """The docstring's ``Paper anchor:`` payload, or None.
+
+    The payload may wrap over several docstring lines; continuation
+    lines (up to a blank line or the docstring end) are joined with
+    single spaces so the rendered table never truncates mid-phrase.
+    """
     doc = ast.get_docstring(ast.parse((SRC / module_rel).read_text()))
     if not doc:
         return None
-    m = re.search(r"^Paper anchor:\s*(.+?)\s*$", doc, flags=re.MULTILINE)
-    return m.group(1).rstrip(".") if m else None
+    m = re.search(
+        r"^Paper anchor:\s*(.+?)(?=\n\s*\n|\Z)", doc, flags=re.MULTILINE | re.DOTALL
+    )
+    if not m:
+        return None
+    return " ".join(m.group(1).split()).rstrip(".")
 
 
 def generate() -> tuple[str, list[str]]:
