@@ -1,13 +1,16 @@
-"""Dual execution backends: numeric arrays or cost-only symbolic shapes.
+"""Execution backends: numeric arrays, cost-only shapes, deferred plans.
 
-See :mod:`repro.backend.symbolic` for the data model and
-:mod:`repro.backend.ops` for the indirection layer.  The backend is
+See :mod:`repro.backend.symbolic` for the cost-only data model,
+:mod:`repro.backend.ops` for the creation/kernel indirection layer, and
+:mod:`repro.backend.registry` for the :class:`Backend` protocol that
+unifies the execution modes behind one dispatch point.  The backend is
 selected per :class:`~repro.machine.Machine`
 (``Machine(P, backend="symbolic")``); algorithms are backend-agnostic.
 
-Paper anchor: Section 3 (the cost model both backends meter identically).
+Paper anchor: Section 3 (the cost model every backend meters identically).
 """
 
+from repro.backend.symbolic import SymbolicArray, dtype_of, is_symbolic
 from repro.backend.ops import (
     NumericOps,
     SymbolicOps,
@@ -16,16 +19,33 @@ from repro.backend.ops import (
     get_ops,
     solve_triangular,
 )
-from repro.backend.symbolic import SymbolicArray, dtype_of, is_symbolic
+from repro.backend.registry import (
+    Backend,
+    NumericBackend,
+    ParallelBackend,
+    SymbolicBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 
 __all__ = [
+    "Backend",
+    "NumericBackend",
     "NumericOps",
+    "ParallelBackend",
     "SymbolicArray",
+    "SymbolicBackend",
     "SymbolicOps",
     "asarray",
     "ascontiguousarray",
+    "available_backends",
     "dtype_of",
+    "get_backend",
     "get_ops",
     "is_symbolic",
+    "register_backend",
+    "resolve_backend",
     "solve_triangular",
 ]

@@ -89,17 +89,17 @@ class SymbolicOps:
         return SymbolicArray.like(x, dtype=dtype)
 
 
-_OPS = {"numeric": NumericOps(), "symbolic": SymbolicOps()}
-
-
 def get_ops(backend: str):
-    """The shared :class:`Ops` instance for a backend name."""
-    try:
-        return _OPS[backend]
-    except KeyError:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected 'numeric' or 'symbolic'"
-        ) from None
+    """The shared ops table for a backend name (registry-dispatched).
+
+    Kept as a thin compatibility shim over
+    :func:`repro.backend.registry.get_backend`; plan-bound backends
+    (``"parallel"``) refuse a plan-less ops table here -- construct a
+    ``Machine`` instead.
+    """
+    from repro.backend.registry import get_backend
+
+    return get_backend(backend).make_ops()
 
 
 # ----------------------------------------------------------------------

@@ -23,8 +23,25 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.backend import available_backends, resolve_backend
 from repro.machine import MACHINE_PROFILES
-from repro.workloads import ALGORITHMS, format_run_table, gaussian, run_qr
+from repro.workloads import ALGORITHMS, format_run_table, run_qr
+
+
+def _backend_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", choices=available_backends(), default="numeric",
+        help="execution backend (registry-dispatched): symbolic = cost-only "
+             "(no arithmetic, no validation; enables paper-scale m/n/P "
+             "sweeps), parallel = same metering as numeric but the array "
+             "work runs on a thread pool (see --workers and "
+             "docs/architecture.md)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="thread count for --backend parallel "
+             "(default: available cores, capped at 8)",
+    )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -34,18 +51,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--P", type=int, required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-validate", action="store_true")
-    p.add_argument(
-        "--backend", choices=["numeric", "symbolic", "parallel"], default="numeric",
-        help="symbolic = cost-only execution (no arithmetic, no validation); "
-             "enables paper-scale m/n/P sweeps.  parallel = same metering as "
-             "numeric but the array work runs on a thread pool "
-             "(see --workers and docs/architecture.md)",
-    )
-    p.add_argument(
-        "--workers", type=int, default=None,
-        help="thread count for --backend parallel "
-             "(default: available cores, capped at 8)",
-    )
+    _backend_args(p)
 
 
 def _params_from(args) -> dict:
@@ -62,10 +68,8 @@ def _params_from(args) -> dict:
 
 
 def _make_input(args):
-    """Global input: a real matrix, or just its shape in symbolic mode."""
-    if args.backend == "symbolic":
-        return (args.m, args.n)
-    return gaussian(args.m, args.n, seed=args.seed)
+    """Global input as the backend wants it: a real matrix, or its shape."""
+    return resolve_backend(args.backend).make_input(args.m, args.n, seed=args.seed)
 
 
 def cmd_run(args) -> int:
@@ -123,7 +127,9 @@ def cmd_plan(args) -> int:
 
         try:
             result, run = plan_and_run(m=args.m, n=args.n, P=args.P,
-                                       P_budget=args.P_budget, seed=args.seed, **kw)
+                                       P_budget=args.P_budget, seed=args.seed,
+                                       backend=args.backend, workers=args.workers,
+                                       **kw)
         except ParameterError as exc:
             print(exc)
             return 1
@@ -148,7 +154,7 @@ def cmd_plan(args) -> int:
                 seen.add(line)
                 print(line)
     if run is not None:
-        print("\nwinner executed numerically:")
+        print(f"\nwinner executed on the {args.backend} backend:")
         print(format_run_table([run.row()]))
     return 0
 
@@ -200,9 +206,10 @@ def main(argv=None) -> int:
     p_plan.add_argument("--show", type=int, default=None,
                         help="print at most this many ranked rows")
     p_plan.add_argument("--run", action="store_true",
-                        help="execute the winner numerically (generates a test matrix)")
+                        help="execute the winner on --backend (generates a test matrix)")
     p_plan.add_argument("--seed", type=int, default=0)
     p_plan.add_argument("--no-cache", action="store_true")
+    _backend_args(p_plan)
     p_plan.set_defaults(fn=cmd_plan)
 
     p_prof = sub.add_parser("profiles", help="list machine profiles")

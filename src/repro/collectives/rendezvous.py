@@ -10,10 +10,16 @@ one of these primitives instead of plain shared memory:
   :meth:`~Rendezvous.put`\\ s exactly once; any number of consumers
   :meth:`~Rendezvous.get` the value, blocking until it is published.
   This is the send/recv pair of the machine model made physical.
+* :class:`RendezvousGroup` -- a one-shot fan-out slot with a *declared*
+  consumer set: the broadcast-along-a-grid-row / reduce-along-a-grid-
+  column edges of the 2D block-cyclic algorithms (paper Section 8.1),
+  where one panel task's value is taken by every processor of a grid
+  row.  Each consumer takes independently; a starving take names the
+  consumer in its timeout, and an undeclared taker is a protocol error.
 * :class:`Barrier` -- an N-party barrier with a timeout, for phase
   separation between collective rounds.
 
-Both carry a *timeout*: a consumer that would wait forever (a cycle, a
+All carry a *timeout*: a consumer that would wait forever (a cycle, a
 lost producer, a crashed worker) raises :class:`RendezvousTimeout`
 instead of deadlocking, which is what the engine's no-deadlock guard
 tests exercise for every collective.
@@ -22,17 +28,28 @@ tests exercise for every collective.
 >>> rv.put(41 + 1)
 >>> rv.get(timeout=1.0)
 42
+>>> fan = RendezvousGroup([1, 2], label="panel_T")
+>>> fan.put("T")
+>>> fan.take(1, timeout=1.0), fan.take(2, timeout=1.0)
+('T', 'T')
 
 Paper anchor: Section 3 (send/receive happens-before edges), Appendix A
-(the collectives these rendezvous synchronize at execution time).
+(the collectives these rendezvous synchronize at execution time);
+Section 8.1 (the grid-row fan-out patterns of the 2D baselines).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any
+from typing import Any, Iterable
 
-__all__ = ["Barrier", "Rendezvous", "RendezvousError", "RendezvousTimeout"]
+__all__ = [
+    "Barrier",
+    "Rendezvous",
+    "RendezvousError",
+    "RendezvousGroup",
+    "RendezvousTimeout",
+]
 
 #: Default seconds a consumer waits before declaring a deadlock.
 DEFAULT_TIMEOUT = 120.0
@@ -92,6 +109,74 @@ class Rendezvous:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "ready" if self.ready else "pending"
         return f"Rendezvous({self._label!r}, {state})"
+
+
+class RendezvousGroup:
+    """One-producer fan-out slot over a declared set of consumer ranks.
+
+    The 2D block-cyclic algorithms broadcast a panel's reflectors and
+    kernel row-wise and reduce trailing-update contributions
+    column-wise, so one produced value is consumed by *several* ranks
+    of a grid row or column.  The engine wires each such producer to a
+    ``RendezvousGroup`` naming the consuming ranks: every consumer
+    :meth:`take`\\ s the value independently (blocking until the single
+    :meth:`put`), an undeclared taker is a protocol violation, and a
+    timeout names the starved consumer -- the same deadlock guard
+    discipline as :class:`Rendezvous`, with fan-out observability.
+    """
+
+    __slots__ = ("_rv", "consumers", "_label")
+
+    def __init__(self, consumers: Iterable[int], label: str = "") -> None:
+        self.consumers = frozenset(int(c) for c in consumers)
+        if not self.consumers:
+            raise RendezvousError(
+                f"RendezvousGroup {label!r} requires at least one consumer"
+            )
+        self._rv = Rendezvous(label)
+        self._label = label
+
+    @property
+    def ready(self) -> bool:
+        """True once the producer has published."""
+        return self._rv.ready
+
+    def put(self, value: Any) -> None:
+        """Publish ``value`` once; wakes every waiting consumer."""
+        self._rv.put(value)
+
+    def take(self, consumer: int, timeout: float = DEFAULT_TIMEOUT) -> Any:
+        """Block until published, then return the value for ``consumer``.
+
+        Raises :class:`RendezvousError` for an undeclared consumer and
+        :class:`RendezvousTimeout` (naming the consumer) on starvation.
+        """
+        if consumer not in self.consumers:
+            raise RendezvousError(
+                f"rank {consumer} is not a declared consumer of rendezvous "
+                f"group {self._label!r} (declared: {sorted(self.consumers)})"
+            )
+        try:
+            return self._rv.get(timeout)
+        except RendezvousTimeout:
+            raise RendezvousTimeout(
+                f"rendezvous group {self._label!r}: consumer rank {consumer} "
+                f"timed out after {timeout}s (producer never published; "
+                "possible deadlock)"
+            ) from None
+
+    def get(self, timeout: float = DEFAULT_TIMEOUT, consumer: int | None = None) -> Any:
+        """:class:`Rendezvous`-compatible accessor (optionally checked)."""
+        if consumer is not None:
+            return self.take(consumer, timeout)
+        return self._rv.get(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ready" if self.ready else "pending"
+        return (
+            f"RendezvousGroup({self._label!r}, {state}, "
+            f"consumers={sorted(self.consumers)})"
+        )
 
 
 class Barrier:

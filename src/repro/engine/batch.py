@@ -14,12 +14,20 @@ stream:
   skipped, and the cost report is reused (it is provably identical:
   same shapes, same plan).  This is what makes the parallel backend's
   *warm* wall-clock beat the serial numeric driver per job even on a
-  single core (see ``benchmarks/bench_engine.py``).
+  single core (see ``benchmarks/bench_engine.py``).  Every algorithm
+  in :data:`repro.workloads.ALGORITHMS` replays this way; jobs of a
+  *different* shape (even a different leading dimension) build their
+  own plan -- rebinding across shapes is refused by
+  :meth:`repro.engine.plan.Plan.rebind`.
 * **planner caching** -- with ``plan_with`` set, jobs that do not pin
   an algorithm ask :func:`repro.planner.plan` to choose one for the
   target machine profile.  The planner's ranked-plan and measurement
   caches mean each distinct shape is planned once per stream no matter
   how many jobs share it.
+
+The executing backend is registry-dispatched: ``backend="parallel"``
+(default) replays plans as above, while any other registered backend
+name runs each job through the one-shot harness.
 
 >>> import numpy as np
 >>> from repro.engine.batch import QRJob, run_many
@@ -38,16 +46,14 @@ shapes); Section 3 (replaying the execution DAG).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.dist import BlockRowLayout, CyclicRowLayout, DistMatrix
+from repro.backend import Backend, resolve_backend
 from repro.machine import CostParams, Machine, ParameterError
-from repro.qr import qr_1d_caqr_eg, qr_3d_caqr_eg, tsqr
-from repro.qr.validate import QRDiagnostics, qr_diagnostics
-from repro.util import balanced_sizes
-from repro.workloads.sweeps import PARALLEL_ALGORITHMS, RunResult, run_qr
+from repro.qr.validate import QRDiagnostics
+from repro.workloads.sweeps import RunResult, drive, run_qr
 
 __all__ = ["QRJob", "clear_plan_cache", "run_many"]
 
@@ -71,8 +77,10 @@ class _CachedPlan:
     """A built parallel plan keyed by job shape, ready for replay."""
 
     machine: Machine
-    layout: Any
-    lazy_factors: tuple  # (V, T, R) lazy global arrays
+    slicer: Callable[[np.ndarray], list[np.ndarray]]
+    lazy_factors: tuple
+    diag_fn: Callable
+    params: dict
     report: Any
     words_by_label: dict
 
@@ -89,54 +97,40 @@ def clear_plan_cache() -> None:
 
 def _job_key(
     alg: str, m: int, n: int, P: int, dtype, params: dict,
-    workers: int | None, cost_params: CostParams | None,
+    workers: int | None, cost_params: CostParams | None, validate: bool,
 ) -> tuple:
     # workers and cost_params are part of plan identity: a cached plan
     # carries its machine's engine configuration and its report.
+    # validate is too: a validating plan records extra result kernels
+    # (the 2D baselines' T reconstruction) that a cost-only stream must
+    # not re-execute on every replay.
     return (
         alg, m, n, P, np.dtype(dtype).str, tuple(sorted(params.items())),
-        workers, cost_params,
+        workers, cost_params, validate,
     )
 
 
 def _build(
     alg: str, A: np.ndarray, P: int, params: dict,
     workers: int | None, cost_params: CostParams | None,
+    backend: Backend, validate: bool,
 ) -> _CachedPlan:
     """First job of a shape: run the full driver once, keep the plan."""
-    machine = Machine(P, params=cost_params, backend="parallel", workers=workers)
-    m, n = A.shape
-    if alg in ("tsqr", "caqr1d"):
-        layout = BlockRowLayout(balanced_sizes(m, P))
-        dA = DistMatrix.from_global(machine, A, layout)
-        if alg == "tsqr":
-            res = tsqr(dA, root=0)
-        else:
-            res = qr_1d_caqr_eg(
-                dA, root=0, b=params.get("b"), eps=params.get("eps", 1.0)
-            )
-        lazy = (res.V.to_global(), res.T, res.R)
-    else:  # caqr3d
-        layout = CyclicRowLayout(m, P)
-        dA = DistMatrix.from_global(machine, A, layout)
-        res = qr_3d_caqr_eg(
-            dA,
-            b=params.get("b"),
-            bstar=params.get("bstar"),
-            delta=params.get("delta", 0.5),
-            eps=params.get("eps", 1.0),
-            method=params.get("method", "two_phase"),
-        )
-        lazy = (res.V.to_global(), res.T.to_global(), res.R.to_global())
-    if len(machine.plan.inputs) != len(layout.participants()):
+    machine = Machine(P, params=cost_params, backend=backend, workers=workers)
+    resolved = dict(params)
+    factors, diag_fn, slicer = drive(alg, machine, A, resolved, validate=validate)
+    n_blocks = len(slicer(A))
+    if len(machine.plan.inputs) != n_blocks:
         raise ParameterError(
             f"plan registered {len(machine.plan.inputs)} input leaves for "
-            f"{len(layout.participants())} blocks; replay would be unsafe"
+            f"{n_blocks} blocks; replay would be unsafe"
         )
     return _CachedPlan(
         machine=machine,
-        layout=layout,
-        lazy_factors=lazy,
+        slicer=slicer,
+        lazy_factors=factors,
+        diag_fn=diag_fn,
+        params=resolved,
         report=machine.report(),
         words_by_label=dict(machine.words_by_label),
     )
@@ -145,15 +139,10 @@ def _build(
 def _replay(cached: _CachedPlan, A: np.ndarray) -> tuple:
     """Re-execute a cached plan against a new same-shape input."""
     machine = cached.machine
-    layout = cached.layout
     # The input leaves were registered block by block, in participant
-    # order, when DistMatrix.from_global coerced the first job's blocks
-    # -- redistribute the new matrix the same deterministic way.
-    blocks = [
-        np.ascontiguousarray(A[layout.rows_of(p), :])
-        for p in layout.participants()
-    ]
-    machine.plan.rebind(blocks)
+    # order, when the distributed container coerced the first job's
+    # blocks -- slice the new matrix the same deterministic way.
+    machine.plan.rebind(cached.slicer(A))
     machine.plan.reset()
     machine.engine.execute(machine.plan)
     from repro.engine.lazy import resolve
@@ -168,16 +157,16 @@ def run_many(
     validate: bool = False,
     plan_with: str | CostParams | None = None,
     cost_params: CostParams | None = None,
+    backend: str | Backend = "parallel",
 ) -> list[RunResult]:
     """Factor a stream of matrices, amortizing plans across the stream.
 
     Parameters
     ----------
     jobs:
-        The request stream.  Jobs naming an algorithm in
-        ``PARALLEL_ALGORITHMS`` run on the parallel engine with plan
-        replay; other algorithms fall back to the one-shot numeric
-        driver (:func:`repro.workloads.run_qr`).
+        The request stream.  Every algorithm in
+        :data:`repro.workloads.ALGORITHMS` runs on the parallel engine
+        with plan replay.
     P:
         Default processor count for jobs that do not set one.
     workers:
@@ -192,7 +181,13 @@ def run_many(
     cost_params:
         Cost parameters for the executing machines (replayed jobs reuse
         the first job's report, which is shape-determined).
+    backend:
+        Registered backend name (or instance) to execute on.  The
+        default ``"parallel"`` amortizes plans by replay; any
+        non-parallel backend runs each job through the one-shot
+        harness :func:`repro.workloads.run_qr` instead.
     """
+    impl = resolve_backend(backend)
     results: list[RunResult] = []
     for job in jobs:
         A = np.asarray(job.A)
@@ -220,29 +215,31 @@ def run_many(
             alg = best.candidate.algorithm
             P_job = best.candidate.P
             params = {**best.candidate.kwargs(), **params}
-        if alg not in PARALLEL_ALGORITHMS:
+        impl.require(alg)
+        if not impl.parallel:
+            # Eager backends have no plan to amortize: one-shot harness.
             results.append(
                 run_qr(alg, A, P=P_job, cost_params=cost_params,
-                       validate=validate, **params)
+                       validate=validate, backend=impl, workers=workers, **params)
             )
             continue
 
-        key = _job_key(alg, m, n, P_job, A.dtype, params, workers, cost_params)
+        key = _job_key(alg, m, n, P_job, A.dtype, params, workers, cost_params, validate)
         cached = _PLAN_CACHE.get(key)
         if cached is None:
-            cached = _build(alg, A, P_job, params, workers, cost_params)
+            cached = _build(alg, A, P_job, params, workers, cost_params, impl, validate)
             _PLAN_CACHE[key] = cached
-            V, T, R = cached.machine.materialize(cached.lazy_factors)
+            factors = cached.machine.materialize(cached.lazy_factors)
         else:
-            V, T, R = _replay(cached, A)
+            factors = _replay(cached, A)
         diag = (
-            qr_diagnostics(A, V, T, R)
+            cached.diag_fn(A, factors)
             if validate
             else QRDiagnostics(0.0, 0.0, 0.0, 0.0, 0.0)
         )
         results.append(
             RunResult(
-                alg, m, n, P_job, params, cached.report, diag,
+                alg, m, n, P_job, cached.params, cached.report, diag,
                 words_by_label=dict(cached.words_by_label),
             )
         )

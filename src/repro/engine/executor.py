@@ -34,7 +34,7 @@ from typing import Any
 
 # The engine guard shares the rendezvous consumer timeout: one value,
 # one diagnostic story.
-from repro.collectives.rendezvous import DEFAULT_TIMEOUT, Rendezvous
+from repro.collectives.rendezvous import DEFAULT_TIMEOUT, RendezvousGroup
 from repro.engine.plan import EngineError, Plan, Ref, Task
 
 __all__ = ["Engine", "EngineDeadlockError", "EngineExecutionError", "default_workers"]
@@ -72,7 +72,7 @@ def _resolve_args(obj: Any, consumer_rank: int | None, timeout: float) -> Any:
             and task.rank is not None
             and task.rank != consumer_rank
         ):
-            value = task.rendezvous.get(timeout)
+            value = task.rendezvous.get(timeout, consumer=consumer_rank)
         else:
             value = task.value
         return value if obj.index is None else value[obj.index]
@@ -113,7 +113,15 @@ class Engine:
         self.tasks_run += len(pending)
 
     def _wire_rendezvous(self, plan: Plan, pending: list[Task]) -> None:
-        """Attach a rendezvous slot to every cross-rank-consumed producer."""
+        """Attach a rendezvous slot to every cross-rank-consumed producer.
+
+        A producer with several cross-rank consumers -- the broadcast/
+        reduce-along-a-grid-row fans of the 2D algorithms -- gets a
+        :class:`RendezvousGroup` declaring the consuming ranks, so a
+        starved take names the rank and an undeclared take fails loudly.
+        """
+        fans: dict[int, set[int]] = {}
+        producers: dict[int, Task] = {}
         for task in pending:
             for dep in task.deps:
                 if (
@@ -121,10 +129,22 @@ class Engine:
                     and task.rank is not None
                     and dep.rank != task.rank
                     and dep.rendezvous is None
+                    # A producer that already ran (incremental
+                    # materialize) will never publish again; its value
+                    # is read directly, like a same-rank edge.
+                    and not dep.done
                 ):
-                    dep.rendezvous = Rendezvous(
-                        label=f"t{dep.tid}:{dep.label} rank{dep.rank}->rank{task.rank}"
-                    )
+                    fans.setdefault(dep.tid, set()).add(task.rank)
+                    producers[dep.tid] = dep
+        for tid, consumers in fans.items():
+            dep = producers[tid]
+            dep.rendezvous = RendezvousGroup(
+                consumers,
+                label=(
+                    f"t{dep.tid}:{dep.label} "
+                    f"rank{dep.rank}->ranks{sorted(consumers)}"
+                ),
+            )
 
     @staticmethod
     def _run_task(task: Task, timeout: float) -> None:

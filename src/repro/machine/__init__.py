@@ -16,6 +16,7 @@ Paper anchor: Section 3 (machine model).
 from repro.machine.clocks import METRICS, ClockSet
 from repro.machine.cost_model import MACHINE_PROFILES, CostParams, CostReport
 from repro.machine.exceptions import (
+    BackendCapabilityError,
     DistributionError,
     MachineError,
     OwnershipError,
@@ -28,6 +29,7 @@ from repro.machine.tracing import Trace, TraceEvent
 __all__ = [
     "METRICS",
     "MACHINE_PROFILES",
+    "BackendCapabilityError",
     "ClockSet",
     "CostParams",
     "Counted",

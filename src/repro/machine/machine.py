@@ -22,7 +22,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.backend import SymbolicArray, get_ops
+from repro.backend import SymbolicArray
+from repro.backend.registry import Backend, resolve_backend
 from repro.machine.clocks import ClockSet
 from repro.machine.cost_model import CostParams, CostReport
 from repro.machine.exceptions import MachineError
@@ -119,17 +120,20 @@ class Machine:
         (used by tests to verify the clocks against an offline longest
         path; adds overhead).
     backend:
-        ``"numeric"`` (default) runs real numpy arithmetic; ``"symbolic"``
-        runs the identical task stream over shape-only
-        :class:`~repro.backend.SymbolicArray` data, producing a
-        byte-identical :class:`CostReport` without doing any flops --
-        the mode benchmark sweeps use at paper-scale ``P``;
-        ``"parallel"`` meters like numeric (identically on generic
-        data -- flop masks for degenerate ``tau = 0`` columns use the
-        symbolic backend's generic-data convention) but *defers* the
-        array arithmetic into an execution plan that
+        Name of a registered :class:`~repro.backend.registry.Backend`
+        (or an instance).  ``"numeric"`` (default) runs real numpy
+        arithmetic; ``"symbolic"`` runs the identical task stream over
+        shape-only :class:`~repro.backend.SymbolicArray` data,
+        producing a byte-identical :class:`CostReport` without doing
+        any flops -- the mode benchmark sweeps use at paper-scale
+        ``P``; ``"parallel"`` meters like numeric (identically on
+        generic data -- flop masks for degenerate ``tau = 0`` columns
+        use the symbolic backend's generic-data convention) but
+        *defers* the array arithmetic into an execution plan that
         :meth:`materialize` runs on a thread pool with real
         rendezvous at every cross-rank edge (see :mod:`repro.engine`).
+        Third-party backends plug in through
+        :func:`repro.backend.register_backend`.
     workers:
         Thread count for the parallel backend's engine (ignored
         otherwise); defaults to the available cores, capped at 8.
@@ -140,7 +144,7 @@ class Machine:
         P: int,
         params: CostParams | None = None,
         trace: bool = False,
-        backend: str = "numeric",
+        backend: str | Backend = "numeric",
         workers: int | None = None,
     ) -> None:
         if P < 1:
@@ -148,23 +152,13 @@ class Machine:
         self.P = P
         self.params = params if params is not None else CostParams()
         self.workers = workers
-        if backend == "parallel":
-            # Imported on demand: the machine layer must not depend on
-            # the engine at module load time (the engine's executor
-            # imports the collectives' rendezvous primitives, which sit
-            # above this module in the package graph).
-            from repro.engine import Engine, ParallelOps, Plan, receive
-
-            self.plan = Plan()
-            self.ops = ParallelOps(self.plan)
-            self.engine = Engine(workers)
-            self._receive = receive
-        else:
-            self.plan = None
-            self.engine = None
-            self._receive = None
-            self.ops = get_ops(backend)
-        self.backend = backend
+        impl = resolve_backend(backend)
+        self.backend_impl = impl
+        self.plan = impl.make_plan()
+        self.engine = impl.make_engine(workers)
+        self._receive = impl.receive_fn()
+        self.ops = impl.make_ops(self.plan)
+        self.backend = impl.name
         self.clocks = ClockSet(P, self.params.alpha, self.params.beta, self.params.gamma)
         self.trace: Trace | None = Trace() if trace else None
         # Aggregate (volume) counters; sends only, so volume counts each
@@ -186,6 +180,32 @@ class Machine:
     def parallel(self) -> bool:
         """True when this machine defers work into an execution plan."""
         return self.plan is not None
+
+    @property
+    def concrete(self) -> bool:
+        """True when element values exist during recording (numeric mode).
+
+        Algorithms may branch on data only on a concrete machine; the
+        symbolic and parallel backends take the generic-data path.
+        """
+        return self.backend_impl.concrete
+
+    def kernel(
+        self, p: int | None, fn, args: tuple, meta: Any, label: str = ""
+    ) -> Any:
+        """Run a pure array kernel on processor ``p``, backend-dispatched.
+
+        ``fn(*args)`` must compute a result matching ``meta`` (a
+        :class:`~repro.backend.SymbolicArray`, or a tuple of them for a
+        multi-output kernel).  The numeric backend calls ``fn``
+        eagerly; the symbolic backend returns ``meta`` (cost-only); the
+        parallel backend defers ``fn`` as one rank-``p`` plan task --
+        which is how data-dependent scalar logic (reflector
+        coefficients, pivot decisions) stays recordable: its branches
+        run inside the kernel on concrete values at execution time.
+        Flops are metered by the caller, not here.
+        """
+        return self.backend_impl.run_kernel(self, p, fn, args, meta, label=label)
 
     def materialize(self, obj: Any = None, timeout: float | None = None) -> Any:
         """Execute the pending plan; return ``obj`` with values resolved.
@@ -361,11 +381,8 @@ class Machine:
     def reset(self) -> None:
         """Zero all clocks and counters (reuse the machine across runs)."""
         if self.plan is not None:
-            from repro.engine import ParallelOps, Plan, receive
-
-            self.plan = Plan()
-            self.ops = ParallelOps(self.plan)
-            self._receive = receive
+            self.plan = self.backend_impl.make_plan()
+            self.ops = self.backend_impl.make_ops(self.plan)
         self.clocks = ClockSet(self.P, self.params.alpha, self.params.beta, self.params.gamma)
         self.total_flops = 0.0
         self.total_words_sent = 0

@@ -14,6 +14,12 @@ Both use the auto-dispatched collectives, so for large blocks they hit
 the bidirectional-exchange bound ``O(IJ)`` / ``O(JK)`` words -- the
 log-factor saving over tsqr that motivates 1d-caqr-eg.
 
+The arithmetic is entirely :func:`~repro.matmul.local_mm` (a deferred
+rank-task on the parallel engine), so both paths run on every
+registered backend; the run harness exposes them as the ``"mm1d"``
+algorithm, pinned bit-identical across backends by
+``tests/test_engine.py``.
+
 Paper anchor: Lemma 3 (1D parallel multiplication).
 """
 

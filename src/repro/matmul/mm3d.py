@@ -21,6 +21,13 @@ the paper's analysis charges them.  Cost shape for cube-ish multiplies
 (Lemma 4): ``gamma IJK/P + beta (IJK/P)^(2/3) + alpha log P`` plus the
 all-to-all terms.
 
+The routing arithmetic is all shape-level (index vectors, balanced
+partitions); values only flow through the collectives and
+:func:`~repro.matmul.local_mm`, so the whole pipeline records on the
+parallel engine and runs cost-only symbolically -- exposed as the
+``"mm3d"`` harness algorithm, pinned bit-identical across backends by
+``tests/test_engine.py``.
+
 Paper anchor: Section 4, Lemma 4, Appendix B (3D brick multiplication).
 """
 

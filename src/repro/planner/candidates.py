@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.dist import choose_grid_2d
 from repro.qr.params import choose_b_1d, choose_b_3d, choose_bstar, recursion_depth
-from repro.workloads import ALGORITHMS
+from repro.workloads import QR_ALGORITHMS
 
 
 @dataclass(frozen=True)
@@ -94,7 +94,7 @@ class PlannerConfig:
     the Section 8.1 grid with its neighbors for the 2D baselines.
     """
 
-    algorithms: tuple[str, ...] = ALGORITHMS
+    algorithms: tuple[str, ...] = QR_ALGORITHMS
     delta_grid: tuple[float, ...] = (0.0, 0.5, 2.0 / 3.0)
     eps_grid: tuple[float, ...] = (1.0,)
     max_b_rungs: int = 5
@@ -156,12 +156,12 @@ def enumerate_candidates(
     """All candidates at ``(m, n, P)``, plus explained rejections.
 
     >>> cands, rejected = enumerate_candidates(64, 8, 4)
-    >>> sorted({c.algorithm for c in cands}) == sorted(set(ALGORITHMS))
+    >>> sorted({c.algorithm for c in cands}) == sorted(set(QR_ALGORITHMS))
     True
     >>> cands, rejected = enumerate_candidates(8, 64, 4)   # wide matrix
     >>> cands
     []
-    >>> len(rejected) == len(ALGORITHMS)
+    >>> len(rejected) == len(QR_ALGORITHMS)
     True
     """
     candidates: list[Candidate] = []
@@ -177,7 +177,7 @@ def enumerate_candidates(
     if m < n or n < 1:
         for alg in config.algorithms:
             reject(alg, f"requires m >= n >= 1, got ({m}, {n}); "
-                        "wide matrices go through repro.qr.wide, not run_qr")
+                        "wide matrices go through run_qr('wide', ...) / repro.qr.wide")
         return candidates, rejected
 
     tall_ok = m >= n * P

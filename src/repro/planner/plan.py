@@ -310,17 +310,26 @@ def plan_and_run(
     use_cache: bool = True,
     seed: int = 0,
     validate: bool = True,
+    backend: str = "numeric",
+    workers: int | None = None,
 ) -> tuple[PlanResult, RunResult]:
-    """Plan, then execute the winner *numerically* on real data.
+    """Plan, then execute the winner on real data.
 
     Pass either a concrete matrix ``A`` or a shape ``(m, n)`` (a
     Gaussian test matrix is generated).  Returns the full
-    :class:`PlanResult` and the winner's numeric
+    :class:`PlanResult` and the winner's
     :class:`~repro.workloads.RunResult`, residual included -- the
     one-call "ask the system what to run, then run it" entry point.
-    """
-    from repro.workloads import gaussian
 
+    ``backend`` names any registered execution backend for the
+    run-after-plan step (planning itself always measures on the
+    symbolic backend): ``"numeric"`` (default) runs serially,
+    ``"parallel"`` executes the winner on ``workers`` engine threads,
+    ``"symbolic"`` re-runs cost-only (no validation, shape-only input).
+    """
+    from repro.backend import resolve_backend
+
+    impl = resolve_backend(backend)
     if A is not None:
         A = np.asarray(A)
         if A.ndim != 2:
@@ -339,7 +348,8 @@ def plan_and_run(
             "no feasible plan:\n" + result.explain()
         )
     if A is None:
-        A = gaussian(m, n, seed=seed)
+        A = impl.make_input(m, n, seed=seed)
     run = run_qr(best.candidate.algorithm, A, P=best.candidate.P,
-                 validate=validate, **best.candidate.kwargs())
+                 validate=validate, backend=backend, workers=workers,
+                 **best.candidate.kwargs())
     return result, run

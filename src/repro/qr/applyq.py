@@ -12,6 +12,13 @@ evaluated right-to-left (the paper's arithmetic-minimizing order) with
 or 3D multiplications when ``T`` is distributed (3d-caqr-eg's output
 contract).
 
+Every step is built from the backend-dispatched primitives
+(:func:`~repro.matmul.local_mm`, the collectives,
+:func:`~repro.backend.solve_triangular`), so application runs on all
+registered backends -- cost-only symbolic, and deferred on the
+parallel engine (exposed as the ``"applyq"`` harness algorithm, pinned
+bit-identical to serial numeric by ``tests/test_engine.py``).
+
 Paper anchor: Section 2.3 and Appendix C (applying/forming Q from (V, T)).
 """
 

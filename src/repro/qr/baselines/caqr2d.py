@@ -114,6 +114,16 @@ def _panel_factor_tsqr(
     return res.T
 
 
+def caqr2d_default_bb(m: int, n: int, P: int) -> int:
+    """Section 8.1's default block size ``b = Theta(n/(nP/m)^(1/2))``.
+
+    The single authority for caqr's algorithmic/distribution block
+    default -- :func:`qr_caqr_2d` and the run harness both use it, so
+    tuning it here retunes every entry point consistently.
+    """
+    return max(1, min(n, round(n / max((n * P / m) ** 0.5, 1.0))))
+
+
 def qr_caqr_2d(
     A: BlockCyclic2D | None = None,
     machine=None,
@@ -126,7 +136,7 @@ def qr_caqr_2d(
 
     Same calling convention and result type as :func:`qr_house_2d`.
     The default block size follows Section 8.1's
-    ``b = Theta(n/(nP/m)^(1/2))``.
+    ``b = Theta(n/(nP/m)^(1/2))`` (:func:`caqr2d_default_bb`).
     """
     if A is None:
         if machine is None or A_global is None:
@@ -135,7 +145,7 @@ def qr_caqr_2d(
         if pr is None or pc is None:
             pr, pc = choose_grid_2d(m, n, machine.P)
         if bb is None:
-            bb = max(1, min(n, round(n / max((n * machine.P / m) ** 0.5, 1.0))))
+            bb = caqr2d_default_bb(m, n, machine.P)
         A = BlockCyclic2D.from_global(machine, A_global, pr, pc, bb)
     m, n = A.m, A.n
     if m < n:

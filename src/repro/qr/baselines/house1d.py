@@ -11,6 +11,13 @@ Same I/O contract as tsqr: each participant owns at least ``n`` rows,
 the root owns the leading ``n`` rows; ``V`` comes back distributed,
 ``T`` and ``R`` on the root.
 
+The per-column scalar logic (reflector statistics and coefficients) is
+factored into the pure array kernels of
+:mod:`repro.qr.baselines.panel2d` and dispatched through
+:meth:`~repro.machine.Machine.kernel`, so the control flow is
+LazyArray-recordable and the algorithm runs on every backend --
+numeric, symbolic, and parallel -- with identical metering.
+
 Paper anchor: Section 8.1 (d-house-1d); Table 3 row 1.
 """
 
@@ -25,6 +32,7 @@ from repro.collectives import CommContext, all_reduce_binomial
 from repro.dist import DistMatrix
 
 from repro.matmul import mm1d_reduce
+from repro.qr.baselines.panel2d import reflector_coeffs_arrays, reflector_stats_arrays
 from repro.qr.tsqr import check_tsqr_distribution
 
 
@@ -46,11 +54,9 @@ def qr_house_1d(A: DistMatrix, root: int = 0) -> House1DResult:
     ctx = CommContext(machine, parts)
     dtype = np.result_type(A.dtype, np.float64)
 
-    symbolic = machine.symbolic
     work = {p: A.local(p).astype(dtype, copy=True) for p in parts}
     V = {p: machine.ops.zeros((A.layout.count(p), n), dtype=dtype) for p in parts}
     rows = {p: A.layout.rows_of(p) for p in parts}
-    taus = np.zeros(n, dtype=dtype)
 
     for j in range(n):
         # Form the reflector: all-reduce [alpha_contribution, ||x||^2].
@@ -58,38 +64,34 @@ def qr_house_1d(A: DistMatrix, root: int = 0) -> House1DResult:
         for p in parts:
             below = rows[p] >= j
             x = work[p][below, j]
-            if symbolic:
-                contribs.append(SymbolicArray((2,), dtype))
-            else:
-                alpha = work[p][rows[p] == j, j]
-                normsq = np.vdot(x, x).real - (np.vdot(alpha, alpha).real if alpha.size else 0.0)
-                contribs.append(np.array([alpha[0] if alpha.size else 0.0, normsq], dtype=dtype))
+            diag = work[p][rows[p] == j, j]
+            contribs.append(machine.kernel(
+                p, lambda xv, dv: reflector_stats_arrays(xv, dv, dtype),
+                (x, diag), SymbolicArray((2,), dtype), label="house1d_stats",
+            ))
             machine.compute(p, 2.0 * x.size, label="house1d_norm")
         stat = all_reduce_binomial(ctx, contribs)
-        if symbolic:
-            # Cost-only mode assumes generic data: every column reflects.
-            alpha, xnorm = 1.0, 1.0
-        else:
-            alpha = stat[0]
-            xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
-
-        if xnorm == 0.0 and alpha == 0.0:
-            taus[j] = 0.0
+        # Scalar coefficients [alpha - beta, beta, tau]: simulator-side
+        # (every rank holds stat after the all-reduce; recomputing the
+        # three scalars is free by convention).
+        coeffs = machine.kernel(
+            None, lambda sv: reflector_coeffs_arrays(sv, dtype),
+            (stat,), SymbolicArray((3,), dtype), label="house1d_coeffs",
+        )
+        if machine.concrete and coeffs[2] == 0.0:
+            # Exactly-zero column: identity reflector, nothing to update.
+            # Non-concrete backends take the generic-data path (the
+            # deferred kernel yields tau = 0 and the updates vanish).
             continue
-        from repro.qr.householder import sgn
-
-        beta = -sgn(alpha) * float(np.hypot(abs(alpha), xnorm))
-        tau = 2.0 / (1.0 + xnorm**2 / abs(alpha - beta) ** 2)
-        taus[j] = tau
+        denom, beta, tau = coeffs[0], coeffs[1], coeffs[2]
 
         # Scale v locally; owner of row j sets the unit diagonal and beta.
         for p in parts:
             below = rows[p] >= j
-            V[p][below, j] = work[p][below, j] / (alpha - beta)
+            V[p][below, j] = work[p][below, j] / denom
             V[p][rows[p] == j, j] = 1.0
             work[p][rows[p] == j, j] = beta
-            strictly = rows[p] > j
-            work[p][strictly, j] = 0.0
+            work[p][rows[p] > j, j] = 0.0
             machine.compute(p, float(np.count_nonzero(below)), label="house1d_scale")
 
         # Trailing update: w = v^H A[:, j+1:], then A -= conj(tau) v w.

@@ -27,9 +27,16 @@ from repro.machine import ParameterError
 from repro.qr.baselines.panel2d import (
     collect_vrow,
     gram_t_panel,
+    reflector_coeffs_arrays,
+    reflector_stats_arrays,
     row_broadcast_panel,
     update_trailing,
 )
+
+
+#: Default distribution/algorithmic block size (``b = Theta(1)``,
+#: Section 8.1); shared by :func:`qr_house_2d` and the run harness.
+HOUSE2D_DEFAULT_BB = 4
 
 
 @dataclass
@@ -61,10 +68,12 @@ def _panel_factor_house(
 
     Works for any distribution of rows over the processor column
     (processors with no rows below the diagonal simply contribute
-    zeros), which is why blocked d-house has no corner cases.
+    zeros), which is why blocked d-house has no corner cases.  The
+    per-column scalar logic runs through the
+    :meth:`~repro.machine.Machine.kernel` reflector kernels, so the
+    loop records identically on every backend.
     """
     machine = A_bc.machine
-    symbolic = machine.symbolic
     jcol = A_bc.pcol_of(j0)
     colg = A_bc.col_group(jcol)
     ctx = CommContext(machine, colg) if A_bc.pr > 1 else None
@@ -81,27 +90,25 @@ def _panel_factor_house(
             rows = A_bc.rows_of(i)
             below = rows >= g
             sels[i] = below
-            x = A_bc.blocks[(i, jcol)][below, col_idx]
-            if symbolic:
-                contribs.append(SymbolicArray((2,), dtype))
-            else:
-                diag = A_bc.blocks[(i, jcol)][rows == g, col_idx]
-                normsq = np.vdot(x, x).real - (np.vdot(diag, diag).real if diag.size else 0.0)
-                contribs.append(np.array([diag[0] if diag.size else 0.0, normsq], dtype=dtype))
+            blk = A_bc.blocks[(i, jcol)]
+            x = blk[below, col_idx]
+            diag = blk[rows == g, col_idx]
+            contribs.append(machine.kernel(
+                A_bc.rank(i, jcol),
+                lambda xv, dv: reflector_stats_arrays(xv, dv, dtype),
+                (x, diag), SymbolicArray((2,), dtype), label="house2d_stats",
+            ))
             machine.compute(A_bc.rank(i, jcol), 2.0 * x.size, label="house2d_norm")
         stat = all_reduce_binomial(ctx, contribs) if ctx else contribs[0]
-        if symbolic:
-            # Cost-only mode assumes generic data: every column reflects.
-            alpha, xnorm = 1.0, 1.0
-        else:
-            alpha = stat[0]
-            xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
-        if xnorm == 0.0 and alpha == 0.0:
+        coeffs = machine.kernel(
+            None, lambda sv: reflector_coeffs_arrays(sv, dtype),
+            (stat,), SymbolicArray((3,), dtype), label="house2d_coeffs",
+        )
+        if machine.concrete and coeffs[2] == 0.0:
+            # Exactly-zero column: identity reflector; non-concrete
+            # backends take the generic-data path (tau = 0 deferred).
             continue
-        from repro.qr.householder import sgn
-
-        beta = -sgn(alpha) * float(np.hypot(abs(alpha), xnorm))
-        tau = 2.0 / (1.0 + xnorm**2 / abs(alpha - beta) ** 2)
+        denom, beta, tau = coeffs[0], coeffs[1], coeffs[2]
 
         # Scale v locally; diagonal owner writes beta into the panel.
         vloc = {}
@@ -109,7 +116,7 @@ def _panel_factor_house(
             rows = A_bc.rows_of(i)
             below = sels[i]
             blk = A_bc.blocks[(i, jcol)]
-            v = blk[below, col_idx] / (alpha - beta)
+            v = blk[below, col_idx] / denom
             v[rows[below] == g] = 1.0
             vloc[i] = v
             V_bc.blocks[(i, jcol)][below, col_idx] = v
@@ -140,7 +147,7 @@ def qr_house_2d(
     A_global: np.ndarray | None = None,
     pr: int | None = None,
     pc: int | None = None,
-    bb: int = 4,
+    bb: int = HOUSE2D_DEFAULT_BB,
 ) -> House2DResult:
     """Blocked 2D block-cyclic Householder QR.
 

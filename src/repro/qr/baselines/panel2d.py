@@ -5,7 +5,11 @@ the panel's reflectors row-wise, and apply the block reflector to the
 trailing matrix with column-group reductions -- the classic
 right-looking ScaLAPACK pdgeqrf communication pattern (paper
 Section 8.1).  They differ only in how the panel is factored, so the
-broadcast and update live here.
+broadcast and update live here -- together with the pure
+reflector-statistics kernels the per-column Householder loops (1D and
+2D) dispatch through :meth:`~repro.machine.Machine.kernel`, which is
+what makes their data-dependent scalar logic recordable on the
+parallel backend.
 
 Paper anchor: Section 8.1 (2D panel/update machinery).
 """
@@ -19,6 +23,45 @@ from repro.collectives import CommContext, all_reduce, broadcast
 from repro.dist.blockcyclic import BlockCyclic2D
 from repro.machine import Machine
 from repro.matmul import local_mm
+
+
+# ----------------------------------------------------------------------
+# Reflector kernels (pure array functions; dispatched via machine.kernel)
+# ----------------------------------------------------------------------
+
+def reflector_stats_arrays(x, diag, dtype) -> np.ndarray:
+    """One rank's all-reduce contribution ``[alpha, ||x below||^2]``.
+
+    ``x`` is the rank's slice of the pivot column at and below the
+    diagonal; ``diag`` the (zero- or one-element) diagonal entry it
+    owns.  Pure array kernel: on a parallel machine it runs deferred on
+    concrete data, bit-identical to the eager numeric path.
+    """
+    alpha = diag[0] if diag.shape[0] else 0.0
+    normsq = np.vdot(x, x).real - (np.vdot(diag, diag).real if diag.shape[0] else 0.0)
+    return np.array([alpha, normsq], dtype=dtype)
+
+
+def reflector_coeffs_arrays(stat, dtype) -> np.ndarray:
+    """``[alpha - beta, beta, tau]`` from the reduced ``[alpha, ||x||^2]``.
+
+    The classical Householder convention of :func:`repro.qr.householder.larfg`:
+    ``beta = -sgn(alpha) |x|`` with real ``tau``; an exactly zero column
+    yields ``tau = 0`` (identity reflector) with a unit divisor so the
+    downstream scaling stays finite.
+
+    >>> reflector_coeffs_arrays(np.array([3.0, 16.0]), np.float64)
+    array([ 8. , -5. ,  1.6])
+    """
+    from repro.qr.householder import sgn
+
+    alpha = stat[0]
+    xnorm = float(np.sqrt(max(stat[1].real, 0.0)))
+    if xnorm == 0.0 and alpha == 0.0:
+        return np.array([1.0, 0.0, 0.0], dtype=dtype)
+    beta = -sgn(alpha) * float(np.hypot(abs(alpha), xnorm))
+    tau = 2.0 / (1.0 + xnorm**2 / abs(alpha - beta) ** 2)
+    return np.array([alpha - beta, beta, tau], dtype=dtype)
 
 
 def row_broadcast_panel(

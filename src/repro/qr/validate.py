@@ -39,14 +39,21 @@ class QRDiagnostics:
 def qr_diagnostics(
     A: np.ndarray, V: np.ndarray, T: np.ndarray, R: np.ndarray
 ) -> QRDiagnostics:
-    """Diagnostics for ``A = (I - V T V^H) [R; 0]`` with global arrays."""
+    """Diagnostics for ``A = (I - V T V^H) [R; 0]`` with global arrays.
+
+    Handles both shapes of factorization: tall/square (``V`` is
+    ``m x n``, ``R`` square) and wide (``V`` is ``m x m`` from the
+    square left block, ``R`` upper trapezoidal ``m x n`` -- paper
+    Section 2.1); the reflector count is ``k = min(m, n)`` either way.
+    """
     A = np.asarray(A)
     m, n = A.shape
-    Q = explicit_q(V, T, n)
+    k = min(m, n)
+    Q = explicit_q(V, T, k)
     norm_a = float(np.linalg.norm(A))
     residual = float(np.linalg.norm(A - Q @ R)) / (norm_a if norm_a > 0 else 1.0)
-    orthogonality = float(np.linalg.norm(Q.conj().T @ Q - np.eye(n)))
-    top = V[:n, :]
+    orthogonality = float(np.linalg.norm(Q.conj().T @ Q - np.eye(k)))
+    top = V[:k, :]
     v_dev = float(np.linalg.norm(np.tril(top) - top) + np.linalg.norm(np.diag(top) - 1.0))
     t_dev = float(np.linalg.norm(np.triu(T) - T))
     r_dev = float(np.linalg.norm(np.triu(R) - R))

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.backend import asarray as _backend_asarray
 from repro.dist import DistMatrix
 from repro.machine import Machine, ParameterError
 
@@ -37,8 +36,14 @@ class WideQR:
 
 
 def qr_wide_sequential(machine: Machine, p: int, A: np.ndarray) -> WideQR:
-    """Sequential wide QR: factor the left square block, update the rest."""
-    A = _backend_asarray(A)
+    """Sequential wide QR: factor the left square block, update the rest.
+
+    Backend-agnostic through ``machine.ops`` coercion: on a symbolic
+    machine the input collapses to a shape stand-in (cost-only run); on
+    a parallel machine a real input registers as a plan leaf and the
+    factor/update kernels defer as rank-``p`` tasks.
+    """
+    A = machine.ops.asarray(A)
     m, n = A.shape
     if m > n:
         raise ParameterError(f"qr_wide handles m <= n; use a tall algorithm for {A.shape}")

@@ -14,7 +14,9 @@ from repro.workloads.matrices import (
 from repro.workloads.sweeps import (
     ALGORITHMS,
     PARALLEL_ALGORITHMS,
+    QR_ALGORITHMS,
     RunResult,
+    drive,
     format_run_table,
     run_qr,
 )
@@ -22,7 +24,9 @@ from repro.workloads.sweeps import (
 __all__ = [
     "ALGORITHMS",
     "PARALLEL_ALGORITHMS",
+    "QR_ALGORITHMS",
     "GENERATORS",
+    "drive",
     "RunResult",
     "column_scaled",
     "format_run_table",

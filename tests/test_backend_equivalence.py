@@ -59,6 +59,28 @@ class TestQRAlgorithms:
         num, sym = _pair("caqr3d", 48, 24, 6, method=method)
         assert sym.report == num.report
 
+    @pytest.mark.parametrize(
+        "alg,m,n,P",
+        [("wide", 24, 48, 6), ("applyq", 96, 6, 8),
+         ("mm1d", 96, 6, 8), ("mm3d", 48, 24, 6)],
+    )
+    def test_harness_extensions(self, alg, m, n, P):
+        # wide / applyq / mm1d / mm3d joined ALGORITHMS with the backend
+        # registry; their symbolic runs must meter like numeric too.
+        num, sym = _pair(alg, m, n, P)
+        assert sym.report == num.report
+        assert sym.words_by_label == num.words_by_label
+
+    def test_shape_only_input_runs_every_algorithm(self):
+        for alg, (m, n) in {
+            "tsqr": (64, 4), "house1d": (64, 4), "caqr1d": (64, 4),
+            "house2d": (32, 16), "caqr2d": (32, 16), "caqr3d": (32, 16),
+            "wide": (16, 32), "applyq": (64, 4), "mm1d": (64, 4),
+            "mm3d": (32, 16),
+        }.items():
+            r = run_qr(alg, (m, n), P=4, backend="symbolic")
+            assert r.report.critical_flops > 0, alg
+
     def test_sequential_qr_eg(self):
         A = gaussian(40, 24, seed=5)
         mn = Machine(1)

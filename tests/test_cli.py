@@ -104,8 +104,24 @@ class TestMainInProcess:
         rc = main(["plan", "--m", "64", "--n", "8", "--P", "4", "--run"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "winner executed numerically" in out
+        assert "winner executed on the numeric backend" in out
         assert "residual" in out
+
+    def test_plan_run_on_parallel_backend(self, capsys):
+        rc = main(["plan", "--m", "64", "--n", "8", "--P", "4", "--run",
+                   "--backend", "parallel", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner executed on the parallel backend" in out
+        assert "residual" in out
+
+    def test_plan_run_on_symbolic_backend(self, capsys):
+        # Cost-only run-after-plan: no validation, shape-only input.
+        rc = main(["plan", "--m", "64", "--n", "8", "--P", "4", "--run",
+                   "--backend", "symbolic"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner executed on the symbolic backend" in out
 
     def test_plan_run_infeasible_exits_cleanly(self, capsys):
         rc = main(["plan", "--m", "8", "--n", "64", "--P", "4", "--run"])

@@ -73,6 +73,17 @@ class TestDeterminism:
             ("caqr1d", 96, 6, 8),
             ("caqr3d", 64, 32, 8),
             ("caqr3d", 48, 24, 6),
+            # Un-gated by the backend registry: every algorithm in
+            # ALGORITHMS runs on the parallel engine.
+            ("house1d", 96, 6, 8),
+            ("house2d", 48, 24, 6),
+            ("house2d", 32, 16, 4),
+            ("caqr2d", 48, 24, 6),
+            ("caqr2d", 60, 30, 9),
+            ("wide", 24, 48, 6),
+            ("applyq", 96, 6, 8),
+            ("mm1d", 96, 6, 8),
+            ("mm3d", 48, 24, 6),
         ],
     )
     def test_report_and_factors_match_numeric(self, alg, m, n, P, workers):
@@ -122,14 +133,34 @@ class TestDeterminism:
         assert par.report == sym.report
         assert par.diagnostics.ok()
 
-    def test_unsupported_algorithm_is_rejected(self):
-        with pytest.raises(ParameterError, match="parallel"):
-            run_qr("house1d", gaussian(64, 4, seed=1), P=4, backend="parallel")
+    def test_every_algorithm_is_parallel_capable(self):
+        from repro.backend import get_backend
+        from repro.workloads import ALGORITHMS
+
+        impl = get_backend("parallel")
+        assert all(impl.supports(alg) for alg in ALGORITHMS)
 
     def test_materialize_is_noop_on_serial_machines(self):
         machine = Machine(2)
         obj = {"x": np.ones(3)}
         assert machine.materialize(obj) is obj
+
+    def test_incremental_materialize_across_ranks(self):
+        # A cross-rank consumer recorded *after* its producer already
+        # executed must read the computed value directly -- wiring a
+        # rendezvous onto a done producer would deadlock (the producer
+        # never publishes again).
+        from repro.engine import defer
+
+        machine = Machine(2, backend="parallel", workers=2)
+        a = machine.ops.asarray(np.ones((2, 2)))
+        first = defer(machine.plan, lambda v: v + 1.0, (a,), a.meta,
+                      rank=0, label="early-producer")
+        assert machine.materialize(first, timeout=GUARD_TIMEOUT).sum() == 8.0
+        second = defer(machine.plan, lambda v: v * 3.0, (first,),
+                       first.meta, rank=1, label="late-consumer")
+        out = machine.materialize(second, timeout=GUARD_TIMEOUT)
+        np.testing.assert_array_equal(out, np.full((2, 2), 6.0))
 
 
 def _parallel_blocks(P, shape=(3, 2), seed=0):
@@ -241,6 +272,69 @@ class TestCollectiveRendezvous:
         for q in range(P):
             for p in range(P):
                 np.testing.assert_array_equal(out[q][p], values[p][q])
+
+
+class TestRendezvousGroup:
+    """The grid-row fan-out slot the 2D algorithms' edges go through."""
+
+    def test_multi_consumer_fan_out(self):
+        from repro.collectives.rendezvous import RendezvousGroup
+
+        fan = RendezvousGroup([1, 2, 5], label="panel_T")
+        fan.put("T")
+        assert fan.take(1, timeout=GUARD_TIMEOUT) == "T"
+        assert fan.take(5, timeout=GUARD_TIMEOUT) == "T"
+        assert fan.get(timeout=GUARD_TIMEOUT, consumer=2) == "T"
+
+    def test_undeclared_consumer_is_rejected(self):
+        from repro.collectives.rendezvous import RendezvousGroup
+
+        fan = RendezvousGroup([1], label="row_bcast")
+        fan.put(0)
+        with pytest.raises(RendezvousError, match="not a declared consumer"):
+            fan.take(3)
+
+    def test_timeout_names_the_starved_consumer(self):
+        from repro.collectives.rendezvous import RendezvousGroup
+
+        fan = RendezvousGroup([4], label="orphan")
+        with pytest.raises(RendezvousTimeout, match="rank 4"):
+            fan.take(4, timeout=0.05)
+
+    def test_empty_consumer_set_is_rejected(self):
+        from repro.collectives.rendezvous import RendezvousGroup
+
+        with pytest.raises(RendezvousError):
+            RendezvousGroup([], label="nobody")
+
+    def test_executor_wires_groups_for_row_fans(self):
+        # One rank-0 producer consumed by ranks 1 and 2 (the grid-row
+        # broadcast shape): the engine must attach a group naming both.
+        from repro.collectives.rendezvous import RendezvousGroup
+
+        plan = Plan()
+        src = plan.add(lambda: 7, rank=0, label="panel")
+        from repro.engine import Ref
+
+        plan.add(lambda v: v + 1, (Ref(src),), rank=1, label="east")
+        plan.add(lambda v: v + 2, (Ref(src),), rank=2, label="west")
+        Engine(workers=3).execute(plan, timeout=GUARD_TIMEOUT)
+        assert isinstance(src.rendezvous, RendezvousGroup)
+        assert src.rendezvous.consumers == frozenset({1, 2})
+        assert plan.tasks[1].value == 8 and plan.tasks[2].value == 9
+
+    @pytest.mark.parametrize("alg,m,n,P", [("house2d", 32, 16, 4), ("caqr2d", 32, 16, 4)])
+    def test_2d_algorithms_complete_under_guard(self, alg, m, n, P):
+        # Algorithm-level deadlock guard: every row-broadcast /
+        # column-reduce fan of the 2D baselines resolves through real
+        # rendezvous within the timeout.
+        A = gaussian(m, n, seed=3)
+        machine = Machine(P, backend="parallel", workers=3)
+        from repro.workloads import drive
+
+        factors, diag_fn, _ = drive(alg, machine, A, {}, validate=True)
+        factors = machine.materialize(factors, timeout=GUARD_TIMEOUT)
+        assert diag_fn(A, factors).ok()
 
 
 class TestTimeoutGuards:
@@ -393,13 +487,71 @@ class TestRunMany:
         run_many([QRJob("tsqr", A)], P=4, workers=2)
         assert len(_PLAN_CACHE) == 3
 
-    def test_non_parallel_algorithm_falls_back(self):
+    def test_house1d_replays_on_the_engine(self):
+        from repro.engine.batch import _PLAN_CACHE
+
         rng = np.random.default_rng(12)
-        results = run_many(
-            [QRJob("house1d", rng.standard_normal((64, 4)))], P=4, validate=True
-        )
-        assert results[0].algorithm == "house1d"
-        assert results[0].diagnostics.ok()
+        jobs = [QRJob("house1d", rng.standard_normal((64, 4))) for _ in range(2)]
+        results = run_many(jobs, P=4, validate=True, workers=1)
+        assert all(r.diagnostics.ok() for r in results)
+        # Since the backend registry un-gated the baselines, house1d
+        # builds one cached parallel plan and replays it.
+        assert len(_PLAN_CACHE) == 1
+        assert results[0].report == run_qr(
+            "house1d", jobs[0].A, P=4, validate=False
+        ).report
+
+    @pytest.mark.parametrize("alg,m,n", [
+        ("house2d", 32, 16), ("caqr2d", 32, 16), ("wide", 16, 32),
+        ("applyq", 64, 4), ("mm1d", 64, 4), ("mm3d", 32, 16),
+    ])
+    def test_replay_covers_every_algorithm(self, alg, m, n):
+        rng = np.random.default_rng(21)
+        jobs = [QRJob(alg, rng.standard_normal((m, n))) for _ in range(2)]
+        results = run_many(jobs, P=4, validate=True, workers=1)
+        assert all(r.diagnostics.ok() for r in results)
+        assert results[0].report == results[1].report
+
+    def test_different_leading_dimension_builds_separate_plans(self):
+        # Pinned behavior: plans are keyed by shape, so jobs whose
+        # leading dimension differs never share (or rebind) a plan --
+        # each shape gets its own, and both validate.
+        from repro.engine.batch import _PLAN_CACHE
+
+        rng = np.random.default_rng(15)
+        jobs = [
+            QRJob("tsqr", rng.standard_normal((64, 4))),
+            QRJob("tsqr", rng.standard_normal((96, 4))),
+            QRJob("tsqr", rng.standard_normal((64, 4))),
+        ]
+        results = run_many(jobs, P=4, validate=True, workers=1)
+        assert all(r.diagnostics.ok() for r in results)
+        assert len(_PLAN_CACHE) == 2
+        assert results[0].report == results[2].report
+        assert results[0].report != results[1].report
+
+    def test_rebind_rejects_mismatched_leading_dimension(self):
+        # The raw replay boundary refuses foreign shapes with a clear
+        # error instead of silently computing garbage.
+        from repro.engine import EngineError
+        from repro.engine.batch import _PLAN_CACHE
+
+        rng = np.random.default_rng(16)
+        run_many([QRJob("tsqr", rng.standard_normal((64, 4)))], P=4, workers=1)
+        (cached,) = _PLAN_CACHE.values()
+        wrong = cached.slicer(rng.standard_normal((64, 4)))
+        wrong[0] = rng.standard_normal((40, 4))  # a 96-row job's block
+        with pytest.raises(EngineError, match="rebind shape mismatch"):
+            cached.machine.plan.rebind(wrong)
+
+    def test_run_many_targets_backends_by_name(self):
+        rng = np.random.default_rng(17)
+        A = rng.standard_normal((64, 4))
+        num = run_many([QRJob("tsqr", A)], P=4, validate=True, backend="numeric")[0]
+        sym = run_many([QRJob("tsqr", A)], P=4, backend="symbolic")[0]
+        ref = run_qr("tsqr", A, P=4, validate=False)
+        assert num.report == ref.report and num.diagnostics.ok()
+        assert sym.report == ref.report
 
     def test_planner_chooses_when_algorithm_is_none(self):
         rng = np.random.default_rng(13)

@@ -26,7 +26,7 @@ from repro.planner import (
     resolve_profile,
 )
 from repro.planner.measure import stats as measure_stats
-from repro.workloads import ALGORITHMS
+from repro.workloads import QR_ALGORITHMS
 
 
 @pytest.fixture(autouse=True)
@@ -43,7 +43,7 @@ def _fresh_caches():
 class TestEnumeration:
     def test_feasible_space_covers_every_algorithm(self):
         cands, rejected = enumerate_candidates(512, 8, 4)
-        assert {c.algorithm for c in cands} == set(ALGORITHMS)
+        assert {c.algorithm for c in cands} == set(QR_ALGORITHMS)
         assert rejected == []
 
     def test_square_ish_excludes_tall_skinny_with_reason(self):
@@ -58,7 +58,7 @@ class TestEnumeration:
     def test_wide_matrix_rejects_everything(self):
         cands, rejected = enumerate_candidates(8, 64, 4)
         assert cands == []
-        assert {r.algorithm for r in rejected} == set(ALGORITHMS)
+        assert {r.algorithm for r in rejected} == set(QR_ALGORITHMS)
         assert all("m >= n" in r.reason for r in rejected)
 
     def test_caqr1d_ladder_respects_lemma6_floor(self):

@@ -1,0 +1,158 @@
+"""The backend registry: protocol flags, dispatch, capability gating.
+
+Contracts pinned here:
+
+* the three built-in backends are registered with the documented flag
+  sets, and every library entry point (Machine, run_qr, run_many, the
+  CLI's choices) resolves backends through the registry rather than
+  comparing name strings;
+* capability flags drive the gated-algorithm error path: an algorithm
+  outside a backend's declared set raises the typed
+  :class:`~repro.machine.BackendCapabilityError` (a
+  :class:`~repro.machine.ParameterError`), with the backend, the
+  algorithm, and the supported set attached;
+* third-party backends plug in by registration and immediately work
+  with ``Machine`` and ``run_qr`` -- no core changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    Backend,
+    NumericBackend,
+    available_backends,
+    get_backend,
+    get_ops,
+    register_backend,
+    resolve_backend,
+)
+from repro.backend.registry import unregister_backend
+from repro.machine import BackendCapabilityError, Machine, ParameterError
+from repro.workloads import ALGORITHMS, gaussian, run_qr
+
+
+class TestBuiltins:
+    def test_three_backends_registered(self):
+        assert set(available_backends()) >= {"numeric", "symbolic", "parallel"}
+
+    def test_flag_sets(self):
+        num = get_backend("numeric")
+        sym = get_backend("symbolic")
+        par = get_backend("parallel")
+        assert (num.symbolic, num.parallel, num.concrete, num.validates) == (
+            False, False, True, True)
+        assert (sym.symbolic, sym.parallel, sym.concrete, sym.validates) == (
+            True, False, False, False)
+        assert (par.symbolic, par.parallel, par.concrete, par.validates) == (
+            False, True, False, True)
+        assert sym.shape_inputs and not num.shape_inputs
+
+    def test_full_algorithm_coverage(self):
+        for name in ("numeric", "symbolic", "parallel"):
+            impl = get_backend(name)
+            assert all(impl.supports(alg) for alg in ALGORITHMS), name
+
+    def test_unknown_backend_name(self):
+        with pytest.raises(ValueError, match="unknown backend 'bogus'"):
+            get_backend("bogus")
+        with pytest.raises(ValueError, match="registered backends"):
+            Machine(2, backend="bogus")
+
+    def test_resolve_accepts_instances(self):
+        impl = get_backend("numeric")
+        assert resolve_backend(impl) is impl
+        assert resolve_backend("numeric") is impl
+
+    def test_machine_accepts_backend_instance(self):
+        machine = Machine(2, backend=get_backend("symbolic"))
+        assert machine.backend == "symbolic" and machine.symbolic
+
+    def test_get_ops_shim(self):
+        assert get_ops("numeric").backend == "numeric"
+        assert get_ops("symbolic").symbolic
+        with pytest.raises(ValueError, match="plan-bound"):
+            get_ops("parallel")
+
+    def test_make_input_shapes(self):
+        assert get_backend("symbolic").make_input(8, 4) == (8, 4)
+        A = get_backend("numeric").make_input(8, 4, seed=1)
+        assert A.shape == (8, 4) and isinstance(A, np.ndarray)
+
+    def test_coerce_global_rejects_mismatches(self):
+        with pytest.raises(ParameterError, match="shape-only"):
+            get_backend("numeric").coerce_global((8, 4))
+        from repro.backend import SymbolicArray
+
+        with pytest.raises(ParameterError, match="symbolic"):
+            get_backend("parallel").coerce_global(SymbolicArray((8, 4)))
+
+
+class _RestrictedBackend(NumericBackend):
+    """A numeric twin that only knows tall-skinny TSQR."""
+
+    name = "tsqr-only"
+    capabilities = frozenset({"tsqr"})
+
+
+@pytest.fixture
+def restricted():
+    impl = register_backend(_RestrictedBackend())
+    yield impl
+    unregister_backend(impl.name)
+
+
+class TestCapabilities:
+    def test_capability_error_is_typed_and_explained(self, restricted):
+        with pytest.raises(BackendCapabilityError) as exc:
+            run_qr("house2d", gaussian(32, 16, seed=0), P=4, backend="tsqr-only")
+        err = exc.value
+        assert isinstance(err, ParameterError)
+        assert err.backend == "tsqr-only"
+        assert err.algorithm == "house2d"
+        assert err.capabilities == ("tsqr",)
+        assert "house2d" in str(err) and "tsqr" in str(err)
+
+    def test_supported_algorithm_still_runs(self, restricted):
+        r = run_qr("tsqr", gaussian(64, 4, seed=0), P=4, backend="tsqr-only")
+        assert r.diagnostics.ok()
+        assert r.report == run_qr("tsqr", gaussian(64, 4, seed=0), P=4).report
+
+    def test_run_many_respects_capabilities(self, restricted):
+        from repro.engine import QRJob, run_many
+
+        with pytest.raises(BackendCapabilityError):
+            run_many([QRJob("caqr1d", gaussian(64, 4, seed=0))],
+                     P=4, backend="tsqr-only")
+
+    def test_unrestricted_backend_supports_everything(self):
+        assert Backend().supports("anything-at-all")
+
+    def test_duplicate_registration_rejected(self, restricted):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(_RestrictedBackend())
+
+    def test_builtin_unregistration_rejected(self):
+        with pytest.raises(ValueError, match="cannot be unregistered"):
+            unregister_backend("numeric")
+
+
+class TestNoStringDispatch:
+    def test_no_backend_string_comparisons_outside_registry(self):
+        """Acceptance pin: backend-name equality checks live only in
+        repro.backend.registry (and there only as registry lookups)."""
+        import pathlib
+        import re
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+        pattern = re.compile(
+            r"backend\s*(==|!=)\s*['\"]|['\"](numeric|symbolic|parallel)['\"]\s*(==|!=)\s*backend"
+        )
+        offenders = []
+        for path in src.rglob("*.py"):
+            if path.name == "registry.py" and path.parent.name == "backend":
+                continue
+            for i, line in enumerate(path.read_text().splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{path.relative_to(src)}:{i}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)

@@ -53,8 +53,14 @@ class TestRunHarness:
     def test_all_algorithms_listed_run(self):
         A_ts = gaussian(128, 8, seed=4)
         A_sq = gaussian(32, 16, seed=5)
+        A_wd = gaussian(16, 32, seed=6)
         for alg in ALGORITHMS:
-            A = A_ts if alg in ("tsqr", "house1d", "caqr1d") else A_sq
+            if alg in ("tsqr", "house1d", "caqr1d", "applyq", "mm1d"):
+                A = A_ts
+            elif alg == "wide":
+                A = A_wd
+            else:
+                A = A_sq
             r = run_qr(alg, A, P=4)
             assert r.diagnostics.ok(1e-9), alg
             assert r.report.critical_flops > 0

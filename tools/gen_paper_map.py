@@ -48,6 +48,8 @@ MODULE_MAP: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "repro/backend/__init__.py": (("tests/test_symbolic.py",), ()),
     "repro/backend/ops.py": (
         ("tests/test_backend_equivalence.py",), ("K1",)),
+    "repro/backend/registry.py": (
+        ("tests/test_registry.py", "tests/test_engine.py"), ("E1",)),
     "repro/backend/symbolic.py": (
         ("tests/test_symbolic.py", "tests/test_backend_equivalence.py"), ("F4b",)),
     "repro/collectives/__init__.py": (("tests/test_collectives.py",), ("T1",)),
