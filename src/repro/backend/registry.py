@@ -29,6 +29,10 @@ variant) plugs in with :func:`register_backend` and no core changes:
 True
 >>> get_backend("parallel").supports("caqr2d")
 True
+>>> get_backend("symbolic").telemetry       # cost-only: no runtime spans
+'simulated'
+>>> get_backend("parallel").telemetry
+'runtime'
 
 This module is also the only place allowed to compare backend names;
 everywhere else consults :class:`Backend` flags and capabilities.
@@ -87,6 +91,12 @@ class Backend:
     #: :meth:`require` turns a miss into a typed
     #: :class:`~repro.machine.BackendCapabilityError`.
     capabilities: frozenset[str] | None = None
+    #: Telemetry capability (:mod:`repro.telemetry`): ``"runtime"`` when
+    #: executions produce real wall-clock spans worth tracing (eager
+    #: numeric kernels, the parallel engine's tasks), ``"simulated"``
+    #: when only modeled time exists -- the cost-only symbolic backend
+    #: does no array work, so a runtime trace of it would be noise.
+    telemetry: str = "runtime"
 
     # ------------------------------------------------------------------
     # Capability flags
@@ -190,6 +200,7 @@ class SymbolicBackend(Backend):
     concrete = False
     shape_inputs = True
     validates = False
+    telemetry = "simulated"
 
     def make_ops(self, plan=None):
         return _SYMBOLIC_OPS

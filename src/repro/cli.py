@@ -1,4 +1,4 @@
-"""Command-line interface: run, sweep, and plan algorithms from the shell.
+"""Command-line interface: run, sweep, plan, and trace algorithms.
 
 Usage::
 
@@ -6,14 +6,20 @@ Usage::
     python -m repro sweep --alg caqr1d --m 8192 --n 64 --P 32 --knob b \\
                           --values 64,32,16,8
     python -m repro plan  --m 65536 --n 1024 --P 1024 --profile cluster
+    python -m repro trace tsqr --m 4096 --n 64 --P 16 --workers 4
     python -m repro profiles
 
 ``run`` factors one matrix and prints the measured cost triple plus
 diagnostics; ``sweep`` varies one knob and prints a table with modeled
 times on every machine profile; ``plan`` asks the planner which
 algorithm/knobs to use for a problem shape on a machine profile (see
-:mod:`repro.planner`); ``profiles`` lists the built-in machine
-profiles.
+:mod:`repro.planner`); ``trace`` runs once on the parallel engine with
+telemetry enabled, writes a Perfetto-loadable Chrome trace
+(``trace.json``) plus a metrics dump, and prints the model-vs-reality
+drift table (see :mod:`repro.telemetry` and ``docs/observability.md``);
+``profiles`` lists the built-in machine profiles.  ``run`` and ``plan
+--run`` accept ``--telemetry`` to print a span/metrics summary for any
+backend whose telemetry capability is ``"runtime"``.
 
 Paper anchor: Section 8 (the evaluation's run/sweep/tune driver).
 """
@@ -21,6 +27,7 @@ Paper anchor: Section 8 (the evaluation's run/sweep/tune driver).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.backend import available_backends, resolve_backend
@@ -41,6 +48,12 @@ def _backend_args(p: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None,
         help="thread count for --backend parallel "
              "(default: available cores, capped at 8)",
+    )
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="record runtime spans/metrics during the run and print a "
+             "summary (see `repro trace` for the full Chrome-trace + "
+             "drift workflow)",
     )
 
 
@@ -72,10 +85,38 @@ def _make_input(args):
     return resolve_backend(args.backend).make_input(args.m, args.n, seed=args.seed)
 
 
+@contextlib.contextmanager
+def _maybe_telemetry(args):
+    """Install a fresh recorder for ``--telemetry`` runs (else a no-op)."""
+    if not getattr(args, "telemetry", False):
+        yield None
+        return
+    from repro import telemetry
+
+    rec = telemetry.TelemetryRecorder()
+    with telemetry.recording(rec):
+        yield rec
+
+
+def _print_telemetry(args, rec) -> None:
+    """Summarize a ``--telemetry`` run, honoring the backend capability."""
+    if rec is None:
+        return
+    from repro.telemetry import format_metrics
+
+    impl = resolve_backend(args.backend)
+    print()
+    if impl.telemetry == "simulated":
+        print(f"backend {impl.name!r} reports simulated time only "
+              "(cost-only execution; no runtime spans are recorded)")
+    print(format_metrics(rec))
+
+
 def cmd_run(args) -> int:
     A = _make_input(args)
-    r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
-               backend=args.backend, workers=args.workers, **_params_from(args))
+    with _maybe_telemetry(args) as rec:
+        r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
+                   backend=args.backend, workers=args.workers, **_params_from(args))
     print(format_run_table([r.row()]))
     ph = r.words_by_phase()
     if ph["alltoall"] or ph["dmm"]:
@@ -86,6 +127,7 @@ def cmd_run(args) -> int:
         if name == "unit":
             continue
         print(f"  {name:<16} {r.report.time_under(prof):.3e} s")
+    _print_telemetry(args, rec)
     return 0
 
 
@@ -95,20 +137,22 @@ def cmd_sweep(args) -> int:
     for tok in args.values.split(","):
         values.append(float(tok) if "." in tok else int(tok))
     rows = []
-    for v in values:
-        r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
-                   backend=args.backend, workers=args.workers,
-                   **{**_params_from(args), args.knob: v})
-        row = r.row()
-        row[args.knob] = v
-        for name in ("cluster", "cloud", "supercomputer"):
-            row[f"t({name})"] = r.report.time_under(MACHINE_PROFILES[name])
-        rows.append(row)
+    with _maybe_telemetry(args) as rec:
+        for v in values:
+            r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
+                       backend=args.backend, workers=args.workers,
+                       **{**_params_from(args), args.knob: v})
+            row = r.row()
+            row[args.knob] = v
+            for name in ("cluster", "cloud", "supercomputer"):
+                row[f"t({name})"] = r.report.time_under(MACHINE_PROFILES[name])
+            rows.append(row)
     cols = ["algorithm", args.knob, "flops", "words", "messages",
             "t(cluster)", "t(cloud)", "t(supercomputer)"]
     print(format_run_table(rows, columns=cols,
                            title=f"{args.alg} sweep over {args.knob} "
                                  f"(m={args.m}, n={args.n}, P={args.P})"))
+    _print_telemetry(args, rec)
     return 0
 
 
@@ -122,20 +166,21 @@ def cmd_plan(args) -> int:
     budget = args.budget if args.budget > 0 else None
     kw = dict(profile=profile, config=config, measure_budget=budget,
               use_cache=not args.no_cache)
-    if args.run:
-        from repro.machine import ParameterError
+    with _maybe_telemetry(args) as rec:
+        if args.run:
+            from repro.machine import ParameterError
 
-        try:
-            result, run = plan_and_run(m=args.m, n=args.n, P=args.P,
-                                       P_budget=args.P_budget, seed=args.seed,
-                                       backend=args.backend, workers=args.workers,
-                                       **kw)
-        except ParameterError as exc:
-            print(exc)
-            return 1
-    else:
-        result = plan(args.m, args.n, args.P, P_budget=args.P_budget, **kw)
-        run = None
+            try:
+                result, run = plan_and_run(m=args.m, n=args.n, P=args.P,
+                                           P_budget=args.P_budget, seed=args.seed,
+                                           backend=args.backend, workers=args.workers,
+                                           **kw)
+            except ParameterError as exc:
+                print(exc)
+                return 1
+        else:
+            result = plan(args.m, args.n, args.P, P_budget=args.P_budget, **kw)
+            run = None
     if not result.plans:
         print(result.explain())
         return 1
@@ -156,6 +201,53 @@ def cmd_plan(args) -> int:
     if run is not None:
         print(f"\nwinner executed on the {args.backend} backend:")
         print(format_run_table([run.row()]))
+    _print_telemetry(args, rec)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """One traced run on the parallel engine: trace.json + drift table."""
+    import time
+
+    from repro.planner import resolve_profile
+    from repro.telemetry import (
+        TelemetryRecorder,
+        drift_report,
+        metrics_dump,
+        recording,
+        write_chrome_trace,
+    )
+
+    profile = resolve_profile(args.profile)
+    A = resolve_backend("parallel").make_input(args.m, args.n, seed=args.seed)
+    params = _params_from(args)
+    rec = TelemetryRecorder()
+    t0 = time.perf_counter()
+    with recording(rec):
+        r = run_qr(args.alg, A, P=args.P, validate=False, backend="parallel",
+                   workers=args.workers, cost_params=profile, **params)
+    wall = time.perf_counter() - t0
+
+    trace = write_chrome_trace(rec, args.out)
+    print(f"wrote {args.out} ({len(trace['traceEvents'])} trace events, "
+          f"{len(rec.spans)} spans; load in https://ui.perfetto.dev)")
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w") as fh:
+            json.dump(metrics_dump(rec), fh, indent=2)
+        print(f"wrote {args.metrics_out}")
+
+    # The drift join re-runs the identical shape cost-only; the run's
+    # resolved knobs (r.params) keep both sides on the same plan.
+    dr = drift_report(args.alg, args.m, args.n, args.P, rec, wall,
+                      params=r.params, profile=profile)
+    print()
+    print(dr.table())
+    waits = rec.metrics.counter("engine.rendezvous.waits")
+    tasks = rec.metrics.counter("engine.tasks")
+    print(f"[{tasks:.0f} engine tasks, {waits:.0f} rendezvous waits, "
+          f"workers={args.workers or 'auto'}]")
     return 0
 
 
@@ -211,6 +303,30 @@ def main(argv=None) -> int:
     p_plan.add_argument("--no-cache", action="store_true")
     _backend_args(p_plan)
     p_plan.set_defaults(fn=cmd_plan)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run once on the parallel engine with telemetry: write a "
+             "Chrome trace (Perfetto-loadable) and print the "
+             "model-vs-reality drift table",
+    )
+    p_trace.add_argument("alg", choices=ALGORITHMS)
+    p_trace.add_argument("--m", type=int, required=True)
+    p_trace.add_argument("--n", type=int, required=True)
+    p_trace.add_argument("--P", type=int, required=True)
+    p_trace.add_argument("--workers", type=int, default=None,
+                         help="engine thread count (default: cores, capped at 8)")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--profile", default="cluster",
+                         help="machine profile the drift table predicts "
+                              "against (see `profiles`) or 'alpha,beta,gamma'")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace-event JSON output path")
+    p_trace.add_argument("--metrics-out", dest="metrics_out", default=None,
+                         help="also dump the metrics registry as JSON here")
+    for name, typ in (("b", int), ("bstar", int), ("bb", int), ("eps", float), ("delta", float)):
+        p_trace.add_argument(f"--{name}", type=typ, default=None)
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_prof = sub.add_parser("profiles", help="list machine profiles")
     p_prof.set_defaults(fn=cmd_profiles)

@@ -41,6 +41,7 @@ Section 8.1 (the grid-row fan-out patterns of the 2D baselines).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Iterable
 
 __all__ = [
@@ -125,9 +126,11 @@ class RendezvousGroup:
     discipline as :class:`Rendezvous`, with fan-out observability.
     """
 
-    __slots__ = ("_rv", "consumers", "_label")
+    __slots__ = ("_rv", "consumers", "_label", "producer")
 
-    def __init__(self, consumers: Iterable[int], label: str = "") -> None:
+    def __init__(
+        self, consumers: Iterable[int], label: str = "", producer: str = ""
+    ) -> None:
         self.consumers = frozenset(int(c) for c in consumers)
         if not self.consumers:
             raise RendezvousError(
@@ -135,6 +138,10 @@ class RendezvousGroup:
             )
         self._rv = Rendezvous(label)
         self._label = label
+        #: Human-readable description of the producing task (the engine
+        #: passes ``"t<tid>:<label> (rank <r>)"``) -- named in timeout
+        #: errors so a deadlock report says *what* never published.
+        self.producer = producer or label
 
     @property
     def ready(self) -> bool:
@@ -149,20 +156,25 @@ class RendezvousGroup:
         """Block until published, then return the value for ``consumer``.
 
         Raises :class:`RendezvousError` for an undeclared consumer and
-        :class:`RendezvousTimeout` (naming the consumer) on starvation.
+        :class:`RendezvousTimeout` on starvation -- naming the starved
+        consumer rank, the producing task, and the elapsed wait, so a
+        deadlock report is actionable without re-running under a
+        debugger.
         """
         if consumer not in self.consumers:
             raise RendezvousError(
                 f"rank {consumer} is not a declared consumer of rendezvous "
                 f"group {self._label!r} (declared: {sorted(self.consumers)})"
             )
+        start = time.perf_counter()
         try:
             return self._rv.get(timeout)
         except RendezvousTimeout:
+            elapsed = time.perf_counter() - start
             raise RendezvousTimeout(
                 f"rendezvous group {self._label!r}: consumer rank {consumer} "
-                f"timed out after {timeout}s (producer never published; "
-                "possible deadlock)"
+                f"starved for {elapsed:.2f}s waiting on producer task "
+                f"{self.producer!r} (never published; possible deadlock)"
             ) from None
 
     def get(self, timeout: float = DEFAULT_TIMEOUT, consumer: int | None = None) -> Any:

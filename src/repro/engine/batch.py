@@ -53,6 +53,7 @@ import numpy as np
 from repro.backend import Backend, resolve_backend
 from repro.machine import CostParams, Machine, ParameterError
 from repro.qr.validate import QRDiagnostics
+from repro.telemetry.recorder import current_recorder
 from repro.workloads.sweeps import RunResult, drive, run_qr
 
 __all__ = ["QRJob", "clear_plan_cache", "run_many"]
@@ -188,8 +189,10 @@ def run_many(
         harness :func:`repro.workloads.run_qr` instead.
     """
     impl = resolve_backend(backend)
+    rec = current_recorder()
     results: list[RunResult] = []
     for job in jobs:
+        job_t0 = rec.now() if rec.enabled else 0.0
         A = np.asarray(job.A)
         m, n = A.shape
         P_job = job.P if job.P is not None else P
@@ -222,15 +225,30 @@ def run_many(
                 run_qr(alg, A, P=P_job, cost_params=cost_params,
                        validate=validate, backend=impl, workers=workers, **params)
             )
+            if rec.enabled:
+                rec.job_span(
+                    f"job:{alg} {m}x{n} P={P_job}", job_t0, rec.now() - job_t0,
+                    plan_cache="bypass",
+                )
             continue
 
         key = _job_key(alg, m, n, P_job, A.dtype, params, workers, cost_params, validate)
         cached = _PLAN_CACHE.get(key)
-        if cached is None:
+        hit = cached is not None
+        if rec.enabled:
+            rec.metrics.inc(
+                "run_many.plan_cache.hits" if hit else "run_many.plan_cache.misses"
+            )
+        if not hit:
             cached = _build(alg, A, P_job, params, workers, cost_params, impl, validate)
             _PLAN_CACHE[key] = cached
             factors = cached.machine.materialize(cached.lazy_factors)
         else:
+            # A cached plan's engine carries the recorder installed at
+            # build time; re-point it so replays report to the recorder
+            # active *now* (and stop reporting to a stale one).
+            cached.machine.engine.telemetry = rec
+            cached.machine.telemetry = rec
             factors = _replay(cached, A)
         diag = (
             cached.diag_fn(A, factors)
@@ -243,4 +261,9 @@ def run_many(
                 words_by_label=dict(cached.words_by_label),
             )
         )
+        if rec.enabled:
+            rec.job_span(
+                f"job:{alg} {m}x{n} P={P_job}", job_t0, rec.now() - job_t0,
+                plan_cache="hit" if hit else "miss",
+            )
     return results

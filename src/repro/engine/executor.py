@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import queue
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
@@ -36,6 +37,7 @@ from typing import Any
 # one diagnostic story.
 from repro.collectives.rendezvous import DEFAULT_TIMEOUT, RendezvousGroup
 from repro.engine.plan import EngineError, Plan, Ref, Task
+from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["Engine", "EngineDeadlockError", "EngineExecutionError", "default_workers"]
 
@@ -57,13 +59,24 @@ def default_workers() -> int:
     return max(1, min(8, cores))
 
 
-def _resolve_args(obj: Any, consumer_rank: int | None, timeout: float) -> Any:
+def _resolve_args(
+    obj: Any,
+    consumer_rank: int | None,
+    timeout: float,
+    rec: Any = None,
+    waits: list[float] | None = None,
+) -> Any:
     """Materialize the :class:`Ref` handles inside a task's arguments.
 
     A cross-rank reference is taken from the producer's rendezvous slot
     (blocking, with the deadlock-guard timeout); a same-rank or
     rankless reference reads the producer's value directly -- that edge
     is ordinary program order, not a message.
+
+    With an enabled telemetry recorder ``rec``, every blocking take is
+    timed: the seconds accumulate into ``waits[0]`` (the consuming
+    task's wait share) and are attributed per producer through
+    :meth:`~repro.telemetry.TelemetryRecorder.rendezvous_wait`.
     """
     if isinstance(obj, Ref):
         task = obj.task
@@ -72,29 +85,48 @@ def _resolve_args(obj: Any, consumer_rank: int | None, timeout: float) -> Any:
             and task.rank is not None
             and task.rank != consumer_rank
         ):
-            value = task.rendezvous.get(timeout, consumer=consumer_rank)
+            if rec is not None:
+                t0 = time.perf_counter()
+                value = task.rendezvous.get(timeout, consumer=consumer_rank)
+                waited = time.perf_counter() - t0
+                waits[0] += waited
+                rec.rendezvous_wait(task.label, consumer_rank, waited)
+            else:
+                value = task.rendezvous.get(timeout, consumer=consumer_rank)
         else:
             value = task.value
         return value if obj.index is None else value[obj.index]
     if isinstance(obj, list):
-        return [_resolve_args(o, consumer_rank, timeout) for o in obj]
+        return [_resolve_args(o, consumer_rank, timeout, rec, waits) for o in obj]
     if isinstance(obj, tuple):
-        return tuple(_resolve_args(o, consumer_rank, timeout) for o in obj)
+        return tuple(_resolve_args(o, consumer_rank, timeout, rec, waits) for o in obj)
     if isinstance(obj, dict):
-        return {k: _resolve_args(v, consumer_rank, timeout) for k, v in obj.items()}
+        return {
+            k: _resolve_args(v, consumer_rank, timeout, rec, waits)
+            for k, v in obj.items()
+        }
     return obj
 
 
 class Engine:
     """Executes plans on ``workers`` threads with rendezvous handoffs."""
 
-    def __init__(self, workers: int | None = None, timeout: float = DEFAULT_TIMEOUT) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        telemetry: Any = None,
+    ) -> None:
         self.workers = int(workers) if workers is not None else default_workers()
         if self.workers < 1:
             raise EngineError(f"Engine requires workers >= 1, got {self.workers}")
         self.timeout = float(timeout)
         #: Cumulative tasks executed (across execute() calls), for reports.
         self.tasks_run = 0
+        #: Telemetry recorder; the disabled default costs one branch per
+        #: task.  The owning Machine (or run_many) re-points this at the
+        #: currently installed recorder.
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Execution
@@ -144,15 +176,29 @@ class Engine:
                     f"t{dep.tid}:{dep.label} "
                     f"rank{dep.rank}->ranks{sorted(consumers)}"
                 ),
+                producer=f"t{dep.tid}:{dep.label} (rank {dep.rank})",
             )
 
-    @staticmethod
-    def _run_task(task: Task, timeout: float) -> None:
-        args = _resolve_args(task.args, task.rank, timeout)
+    def _run_task(self, task: Task, timeout: float) -> None:
+        rec = self.telemetry
+        if not rec.enabled:
+            args = _resolve_args(task.args, task.rank, timeout)
+            task.value = task.fn(*args)
+            if task.rendezvous is not None:
+                task.rendezvous.put(task.value)
+            task.done = True
+            return
+        # Telemetry path: the span covers resolve (rendezvous waits) +
+        # kernel + publish; the wait share is recorded separately so the
+        # drift report can attribute blocked time per phase.
+        t0 = rec.now()
+        waits = [0.0]
+        args = _resolve_args(task.args, task.rank, timeout, rec, waits)
         task.value = task.fn(*args)
         if task.rendezvous is not None:
             task.rendezvous.put(task.value)
         task.done = True
+        rec.task_span(task.label, task.tid, task.rank, t0, rec.now() - t0, waits[0])
 
     def _execute_inline(self, pending: list[Task], timeout: float) -> None:
         """Single-worker mode: run in topological (creation) order."""

@@ -28,6 +28,7 @@ from repro.machine.clocks import ClockSet
 from repro.machine.cost_model import CostParams, CostReport
 from repro.machine.exceptions import MachineError
 from repro.machine.tracing import Trace
+from repro.telemetry.recorder import current_recorder
 
 
 class Meta:
@@ -137,6 +138,16 @@ class Machine:
     workers:
         Thread count for the parallel backend's engine (ignored
         otherwise); defaults to the available cores, capped at 8.
+    telemetry:
+        A :class:`~repro.telemetry.TelemetryRecorder` (or the disabled
+        :data:`~repro.telemetry.NULL_RECORDER`).  Defaults to the
+        recorder currently installed via
+        :func:`repro.telemetry.recording` -- which is the disabled
+        no-op recorder unless a caller opted in.  The machine times its
+        kernel dispatches through it and hands it to the parallel
+        engine for per-task spans; whether spans mean real wall-clock
+        or nothing is declared by the backend's ``telemetry``
+        capability (``"simulated"`` for the cost-only symbolic mode).
     """
 
     def __init__(
@@ -146,6 +157,7 @@ class Machine:
         trace: bool = False,
         backend: str | Backend = "numeric",
         workers: int | None = None,
+        telemetry=None,
     ) -> None:
         if P < 1:
             raise MachineError(f"Machine requires P >= 1, got {P}")
@@ -159,6 +171,9 @@ class Machine:
         self._receive = impl.receive_fn()
         self.ops = impl.make_ops(self.plan)
         self.backend = impl.name
+        self.telemetry = telemetry if telemetry is not None else current_recorder()
+        if self.engine is not None:
+            self.engine.telemetry = self.telemetry
         self.clocks = ClockSet(P, self.params.alpha, self.params.beta, self.params.gamma)
         self.trace: Trace | None = Trace() if trace else None
         # Aggregate (volume) counters; sends only, so volume counts each
@@ -204,7 +219,18 @@ class Machine:
         coefficients, pivot decisions) stays recordable: its branches
         run inside the kernel on concrete values at execution time.
         Flops are metered by the caller, not here.
+
+        With telemetry enabled the dispatch is timed: on an eager
+        backend that is the kernel's real wall-clock; on the parallel
+        backend it is the plan-append cost (the kernel itself is timed
+        later by the engine's task spans).
         """
+        rec = self.telemetry
+        if rec.enabled:
+            t0 = rec.now()
+            out = self.backend_impl.run_kernel(self, p, fn, args, meta, label=label)
+            rec.kernel_dispatch(label or "kernel", p, rec.now() - t0, self.backend)
+            return out
         return self.backend_impl.run_kernel(self, p, fn, args, meta, label=label)
 
     def materialize(self, obj: Any = None, timeout: float | None = None) -> Any:

@@ -11,6 +11,7 @@ Paper anchor: Section 3 (the execution DAG, observable).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -36,12 +37,21 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log with a hard cap to bound memory."""
+    """Append-only event log with a hard cap to bound memory.
+
+    Hitting the cap is never silent: the first dropped event emits a
+    one-time :class:`RuntimeWarning`, every further drop increments
+    ``dropped``, and ``truncated`` shows up in ``repr`` -- so a
+    truncated trace cannot be mistaken for a complete one.
+    """
 
     def __init__(self, max_events: int = 2_000_000) -> None:
         self.events: list[TraceEvent] = []
         self.max_events = max_events
         self.truncated = False
+        #: Events rejected after the cap was hit.
+        self.dropped = 0
+        self._warned = False
 
     def __len__(self) -> int:
         return len(self.events)
@@ -62,10 +72,24 @@ class Trace:
         """Record an event and return its index (or -1 if the cap was hit)."""
         if len(self.events) >= self.max_events:
             self.truncated = True
+            self.dropped += 1
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"Trace cap of {self.max_events} events hit; subsequent "
+                    "events are dropped (the trace is truncated -- raise "
+                    "max_events or disable tracing for this run)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return -1
         idx = len(self.events)
         self.events.append(TraceEvent(idx, kind, proc, peer, flops, words, match, label))
         return idx
+
+    def __repr__(self) -> str:
+        state = f", truncated=True, dropped={self.dropped}" if self.truncated else ""
+        return f"Trace(events={len(self.events)}, max_events={self.max_events}{state})"
 
     # ------------------------------------------------------------------
     def to_dag(self):

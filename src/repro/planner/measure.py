@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.machine import ReproError
 from repro.planner.candidates import Candidate, Rejection
+from repro.telemetry.recorder import current_recorder
 from repro.workloads import run_qr
 
 #: Cache key -> measured cost triple.  Key = (algorithm, P, params, m, n).
@@ -65,14 +66,21 @@ def measure(c: Candidate, m: int, n: int, use_cache: bool = True) -> dict[str, f
     """
     import time as _time
 
+    rec = current_recorder()
     key = cache_key(c, m, n)
     if use_cache and key in _MEASURE_CACHE:
         stats.cache_hits += 1
+        if rec.enabled:
+            rec.metrics.inc("planner.measure_cache.hits")
         return dict(_MEASURE_CACHE[key])
     t0 = _time.perf_counter()
     r = run_qr(c.algorithm, (m, n), P=c.P, backend="symbolic", **c.kwargs())
     stats.runs += 1
-    stats.seconds += _time.perf_counter() - t0
+    elapsed = _time.perf_counter() - t0
+    stats.seconds += elapsed
+    if rec.enabled:
+        rec.metrics.inc("planner.measure_cache.misses")
+        rec.metrics.observe("planner.measure_s", elapsed)
     triple = {
         "flops": r.report.critical_flops,
         "words": r.report.critical_words,
@@ -90,4 +98,7 @@ def try_measure(
         return measure(c, m, n, use_cache=use_cache), None
     except ReproError as exc:
         stats.errors += 1
+        rec = current_recorder()
+        if rec.enabled:
+            rec.metrics.inc("planner.measure_cache.errors")
         return None, Rejection(c.algorithm, c.P, f"failed to run: {exc}", c.params)

@@ -150,6 +150,55 @@ class TestMainInProcess:
         assert exc.value.code == 2
 
 
+class TestTraceCommand:
+    def test_trace_writes_valid_chrome_trace_and_drift_table(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["trace", "tsqr", "--m", "256", "--n", "16", "--P", "4",
+                   "--workers", "2", "--out", str(out),
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "drift: tsqr" in text
+        assert "critical path" in text and "wall-clock" in text
+        # The emitted file passes the CI trace checker.
+        import importlib.util
+        import json
+
+        spec = importlib.util.spec_from_file_location(
+            "check_trace",
+            pathlib.Path(__file__).resolve().parent.parent / "tools" / "check_trace.py",
+        )
+        check = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(check)
+        assert check.check(str(out)) == []
+        dump = json.loads(metrics.read_text())
+        assert dump["enabled"] is True
+        assert dump["counters"]["engine.tasks"] > 0
+
+    def test_trace_accepts_knobs_and_profile(self, capsys, tmp_path):
+        rc = main(["trace", "caqr3d", "--m", "64", "--n", "16", "--P", "8",
+                   "--workers", "2", "--profile", "cloud",
+                   "--out", str(tmp_path / "t.json")])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "profile 'cloud'" in text
+
+    def test_run_telemetry_flag_prints_summary(self, capsys):
+        rc = main(["run", "--alg", "tsqr", "--m", "128", "--n", "8", "--P", "4",
+                   "--backend", "parallel", "--workers", "2", "--telemetry"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and "engine.tasks" in out
+
+    def test_run_telemetry_on_symbolic_reports_simulated_only(self, capsys):
+        rc = main(["run", "--alg", "tsqr", "--m", "4096", "--n", "64", "--P", "8",
+                   "--backend", "symbolic", "--no-validate", "--telemetry"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated time only" in out
+
+
 class TestModuleSubprocess:
     def test_run(self):
         proc = run_module("run", "--alg", "tsqr", "--m", "64", "--n", "8", "--P", "4")

@@ -108,3 +108,52 @@ class TestTreeStructure:
         tsqr(dist(machine, gaussian(16 * P, n, seed=10), P), 0)
         down = machine.words_by_label["tsqr_down"]
         assert down == (P - 1) * n * n
+
+
+class TestTraceTruncation:
+    """Hitting the event cap must be loud: warned, counted, visible."""
+
+    def test_cap_hit_counts_drops_and_warns_once(self):
+        import warnings as _warnings
+
+        from repro.machine.tracing import Trace
+
+        tr = Trace(max_events=2)
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            assert tr.append("compute", 0) == 0
+            assert tr.append("compute", 0) == 1
+            for _ in range(3):
+                assert tr.append("compute", 0) == -1  # dropped
+        assert tr.truncated
+        assert tr.dropped == 3
+        assert len(tr) == 2
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1  # one-time, not per drop
+        assert "Trace cap of 2 events hit" in str(runtime[0].message)
+
+    def test_repr_shows_truncation(self):
+        from repro.machine.tracing import Trace
+
+        tr = Trace(max_events=1)
+        assert "truncated" not in repr(tr)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            tr.append("compute", 0)
+            tr.append("compute", 0)
+        assert repr(tr) == "Trace(events=1, max_events=1, truncated=True, dropped=1)"
+
+    def test_dag_export_refuses_truncated_traces(self):
+        import warnings as _warnings
+
+        from repro.machine.tracing import Trace
+
+        tr = Trace(max_events=1)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            tr.append("compute", 0)
+            tr.append("compute", 0)
+        with pytest.raises(RuntimeError, match="truncated"):
+            tr.to_dag()

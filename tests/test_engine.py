@@ -301,6 +301,27 @@ class TestRendezvousGroup:
         with pytest.raises(RendezvousTimeout, match="rank 4"):
             fan.take(4, timeout=0.05)
 
+    def test_timeout_names_the_producer_and_elapsed_wait(self):
+        # The error must say *what* never published (the producing task)
+        # and *how long* the consumer waited -- the two facts needed to
+        # diagnose a starved rank from the message alone.
+        from repro.collectives.rendezvous import RendezvousGroup
+
+        fan = RendezvousGroup([4], label="bcast", producer="t17:panel (rank 0)")
+        with pytest.raises(
+            RendezvousTimeout,
+            match=(r"consumer rank 4 starved for \d+\.\d\ds waiting on "
+                   r"producer task 't17:panel \(rank 0\)'"),
+        ):
+            fan.take(4, timeout=0.05)
+
+    def test_timeout_producer_defaults_to_the_label(self):
+        from repro.collectives.rendezvous import RendezvousGroup
+
+        fan = RendezvousGroup([1], label="orphan")
+        with pytest.raises(RendezvousTimeout, match="producer task 'orphan'"):
+            fan.take(1, timeout=0.05)
+
     def test_empty_consumer_set_is_rejected(self):
         from repro.collectives.rendezvous import RendezvousGroup
 

@@ -237,7 +237,9 @@ class TestTraceDag:
         t = Trace(max_events=2)
         assert t.append("compute", 0) == 0
         assert t.append("compute", 0) == 1
-        assert t.append("compute", 0) == -1
+        with pytest.warns(RuntimeWarning, match="Trace cap"):
+            assert t.append("compute", 0) == -1
         assert t.truncated
+        assert t.dropped == 1
         with pytest.raises(RuntimeError):
             t.to_dag()

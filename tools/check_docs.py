@@ -35,6 +35,7 @@ REQUIRED = (
     "docs/architecture.md",
     "docs/tutorial.md",
     "docs/cost_model.md",
+    "docs/observability.md",
     "docs/paper_map.md",
 )
 

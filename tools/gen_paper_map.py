@@ -99,6 +99,10 @@ MODULE_MAP: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
         ("tests/test_planner.py", "tests/test_cli.py"), ("P1",)),
     "repro/planner/pruning.py": (("tests/test_planner.py",), ("P1",)),
     "repro/qr/__init__.py": (("tests/test_integration.py",), ()),
+    "repro/telemetry/__init__.py": (("tests/test_telemetry.py",), ("E3",)),
+    "repro/telemetry/recorder.py": (("tests/test_telemetry.py",), ("E3",)),
+    "repro/telemetry/export.py": (("tests/test_telemetry.py",), ("E3",)),
+    "repro/telemetry/drift.py": (("tests/test_telemetry.py",), ("E3",)),
     "repro/qr/applyq.py": (
         ("tests/test_extensions.py", "tests/test_cost_contracts.py"), ()),
     "repro/qr/baselines/__init__.py": (("tests/test_baselines.py",), ()),
