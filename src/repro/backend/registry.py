@@ -33,6 +33,10 @@ True
 'simulated'
 >>> get_backend("parallel").telemetry
 'runtime'
+>>> get_backend("parallel").faults          # checksum-coded recovery
+'recover'
+>>> get_backend("symbolic").faults          # nothing executes, nothing dies
+'none'
 
 This module is also the only place allowed to compare backend names;
 everywhere else consults :class:`Backend` flags and capabilities.
@@ -97,6 +101,13 @@ class Backend:
     #: when only modeled time exists -- the cost-only symbolic backend
     #: does no array work, so a runtime trace of it would be noise.
     telemetry: str = "runtime"
+    #: Fault-injection capability (:mod:`repro.faults`): ``"inject"``
+    #: when a FaultPlan can kill ranks (eager kernel dispatches),
+    #: ``"recover"`` when the backend additionally runs a recovery
+    #: policy through its engine (the parallel executor's retry loop),
+    #: ``"none"`` when nothing actually executes and so nothing can die
+    #: (symbolic; a coded run's *cost accounting* still works there).
+    faults: str = "inject"
 
     # ------------------------------------------------------------------
     # Capability flags
@@ -201,6 +212,7 @@ class SymbolicBackend(Backend):
     shape_inputs = True
     validates = False
     telemetry = "simulated"
+    faults = "none"
 
     def make_ops(self, plan=None):
         return _SYMBOLIC_OPS
@@ -229,6 +241,7 @@ class ParallelBackend(Backend):
     name = "parallel"
     parallel = True
     concrete = False
+    faults = "recover"
 
     def make_plan(self):
         from repro.engine import Plan

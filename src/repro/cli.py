@@ -113,10 +113,44 @@ def _print_telemetry(args, rec) -> None:
 
 
 def cmd_run(args) -> int:
+    from repro.machine import ParameterError, RankFailure
+
     A = _make_input(args)
-    with _maybe_telemetry(args) as rec:
-        r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
-                   backend=args.backend, workers=args.workers, **_params_from(args))
+    fault = getattr(args, "inject_fault", None)
+    recovery = getattr(args, "recovery", None)
+    if recovery is not None and recovery.startswith("coded"):
+        # Checksum-protected run: spare ranks, XOR parity, engine-side
+        # recovery (see repro.faults and docs/fault_tolerance.md).
+        from repro.faults import parse_policy, run_coded_qr
+
+        policy = parse_policy(recovery)
+        try:
+            with _maybe_telemetry(args) as rec:
+                r = run_coded_qr(args.alg, A, P=args.P, f=policy.f,
+                                 fault=fault, recovery=policy,
+                                 backend=args.backend, workers=args.workers,
+                                 **_params_from(args))
+        except (ParameterError, RankFailure) as exc:
+            print(f"run failed: {exc}")
+            return 1
+        print(format_run_table([{"algorithm": f"{args.alg}+coded:{r.f}",
+                                 **r.report.as_row()}]))
+        print(f"checksum overhead (exact): flops={r.predicted.flops} "
+              f"words={r.predicted.words} messages={r.predicted.messages}")
+        print(f"faults fired: {len(r.fired)}; recoveries: {r.recoveries}")
+        _print_telemetry(args, rec)
+        return 0
+    try:
+        with _maybe_telemetry(args) as rec:
+            from repro.faults import FaultPlan, parse_policy
+
+            r = run_qr(args.alg, A, P=args.P, validate=not args.no_validate,
+                       backend=args.backend, workers=args.workers,
+                       fault_plan=FaultPlan.parse(fault),
+                       recovery=parse_policy(recovery), **_params_from(args))
+    except RankFailure as exc:
+        print(f"run failed: {exc}")
+        return 1
     print(format_run_table([r.row()]))
     ph = r.words_by_phase()
     if ph["alltoall"] or ph["dmm"]:
@@ -268,6 +302,18 @@ def main(argv=None) -> int:
     _add_common(p_run)
     for name, typ in (("b", int), ("bstar", int), ("bb", int), ("eps", float), ("delta", float)):
         p_run.add_argument(f"--{name}", type=typ, default=None)
+    p_run.add_argument(
+        "--inject-fault", dest="inject_fault", default=None, metavar="RANK@STEP",
+        help="kill RANK at its STEP-th task-step (parallel backend) or "
+             "kernel dispatch (append ':dispatch'); comma-separate for "
+             "several triggers (see docs/fault_tolerance.md)",
+    )
+    p_run.add_argument(
+        "--recovery", default=None, metavar="POLICY",
+        help="what to do when a rank dies: 'failfast', 'retry:<n>', or "
+             "'coded:<f>' (adds f XOR-checksum spare ranks; tsqr/caqr1d "
+             "on --backend parallel)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="sweep one knob, print cost table")

@@ -24,6 +24,13 @@ lost producer, a crashed worker) raises :class:`RendezvousTimeout`
 instead of deadlocking, which is what the engine's no-deadlock guard
 tests exercise for every collective.
 
+All are also *abortable*: when the engine learns a producer will never
+publish (its task raised, a rank was killed by fault injection, the
+plan deadlocked elsewhere), it poisons the slot with
+:meth:`~Rendezvous.abort` and every blocked or future consumer raises
+:class:`RendezvousAborted` immediately -- milliseconds instead of the
+full timeout -- with the real cause chained as ``__cause__``.
+
 >>> rv = Rendezvous()
 >>> rv.put(41 + 1)
 >>> rv.get(timeout=1.0)
@@ -32,6 +39,13 @@ tests exercise for every collective.
 >>> fan.put("T")
 >>> fan.take(1, timeout=1.0), fan.take(2, timeout=1.0)
 ('T', 'T')
+>>> poisoned = Rendezvous("dead_edge")
+>>> poisoned.abort(RuntimeError("rank 3 died"))
+True
+>>> poisoned.get(timeout=1.0)
+Traceback (most recent call last):
+    ...
+repro.collectives.rendezvous.RendezvousAborted: rendezvous 'dead_edge' aborted before publish: RuntimeError('rank 3 died')
 
 Paper anchor: Section 3 (send/receive happens-before edges), Appendix A
 (the collectives these rendezvous synchronize at execution time);
@@ -47,6 +61,7 @@ from typing import Any, Iterable
 __all__ = [
     "Barrier",
     "Rendezvous",
+    "RendezvousAborted",
     "RendezvousError",
     "RendezvousGroup",
     "RendezvousTimeout",
@@ -64,6 +79,16 @@ class RendezvousTimeout(RendezvousError):
     """A blocking wait exceeded its timeout (deadlock guard tripped)."""
 
 
+class RendezvousAborted(RendezvousError):
+    """The slot was poisoned: its producer will never publish.
+
+    Raised by :meth:`Rendezvous.get` / :meth:`RendezvousGroup.take` the
+    moment a consumer touches an aborted slot (blocked consumers wake
+    immediately).  The original failure -- the exception the engine
+    aborted the plan with -- is chained as ``__cause__``.
+    """
+
+
 class Rendezvous:
     """One-shot single-producer, multi-consumer value slot.
 
@@ -71,22 +96,41 @@ class Rendezvous:
     consumer that depends on it across a rank boundary blocks in
     :meth:`get` until the value is available.  The slot never resets --
     a second ``put`` is a protocol violation and raises.
+
+    A slot whose producer is known to be lost is *poisoned* with
+    :meth:`abort`: consumers (blocked or future) raise
+    :class:`RendezvousAborted` immediately with the cause chained, and a
+    late ``put`` from a producer that lost the race is dropped.
     """
 
-    __slots__ = ("_event", "_value", "_label")
+    __slots__ = ("_event", "_value", "_label", "_poison")
 
     def __init__(self, label: str = "") -> None:
         self._event = threading.Event()
         self._value: Any = None
         self._label = label
+        self._poison: BaseException | None = None
 
     @property
     def ready(self) -> bool:
-        """True once the producer has published."""
-        return self._event.is_set()
+        """True once the producer has published (and the slot is healthy)."""
+        return self._event.is_set() and self._poison is None
+
+    @property
+    def aborted(self) -> bool:
+        """True once the slot has been poisoned by :meth:`abort`."""
+        return self._poison is not None
 
     def put(self, value: Any) -> None:
-        """Publish ``value`` and wake every waiting consumer."""
+        """Publish ``value`` and wake every waiting consumer.
+
+        A put into an aborted slot is dropped silently: the abort won,
+        and the value is undeliverable (its consumers are failing with
+        the abort cause).  The producing task still completes normally,
+        so its value remains readable through the plan on a retry.
+        """
+        if self._poison is not None:
+            return
         if self._event.is_set():
             raise RendezvousError(
                 f"rendezvous {self._label!r} received a second put"
@@ -94,21 +138,41 @@ class Rendezvous:
         self._value = value
         self._event.set()
 
+    def abort(self, exc: BaseException) -> bool:
+        """Poison the slot: consumers raise immediately, chaining ``exc``.
+
+        Idempotent (the first cause wins) and a no-op when the producer
+        already published -- consumers of a ready slot are unaffected.
+        Returns True when this call poisoned the slot.
+        """
+        if self._event.is_set():
+            return False  # published (healthy) or already poisoned
+        self._poison = exc
+        self._event.set()
+        return True
+
     def get(self, timeout: float = DEFAULT_TIMEOUT) -> Any:
         """Block until the value is published, then return it.
 
         Raises :class:`RendezvousTimeout` after ``timeout`` seconds --
-        the engine's guard against a send that never happens.
+        the engine's guard against a send that never happens -- or
+        :class:`RendezvousAborted` (immediately, cause chained) when the
+        slot was poisoned via :meth:`abort`.
         """
         if not self._event.wait(timeout):
             raise RendezvousTimeout(
                 f"rendezvous {self._label!r} timed out after {timeout}s "
                 "(sender never published; possible deadlock)"
             )
+        if self._poison is not None:
+            raise RendezvousAborted(
+                f"rendezvous {self._label!r} aborted before publish: "
+                f"{self._poison!r}"
+            ) from self._poison
         return self._value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "ready" if self.ready else "pending"
+        state = "aborted" if self.aborted else ("ready" if self.ready else "pending")
         return f"Rendezvous({self._label!r}, {state})"
 
 
@@ -148,18 +212,28 @@ class RendezvousGroup:
         """True once the producer has published."""
         return self._rv.ready
 
+    @property
+    def aborted(self) -> bool:
+        """True once the slot has been poisoned by :meth:`abort`."""
+        return self._rv.aborted
+
     def put(self, value: Any) -> None:
         """Publish ``value`` once; wakes every waiting consumer."""
         self._rv.put(value)
 
+    def abort(self, exc: BaseException) -> bool:
+        """Poison the fan-out slot (see :meth:`Rendezvous.abort`)."""
+        return self._rv.abort(exc)
+
     def take(self, consumer: int, timeout: float = DEFAULT_TIMEOUT) -> Any:
         """Block until published, then return the value for ``consumer``.
 
-        Raises :class:`RendezvousError` for an undeclared consumer and
+        Raises :class:`RendezvousError` for an undeclared consumer,
         :class:`RendezvousTimeout` on starvation -- naming the starved
         consumer rank, the producing task, and the elapsed wait, so a
         deadlock report is actionable without re-running under a
-        debugger.
+        debugger -- and :class:`RendezvousAborted` (immediately, cause
+        chained) when the producer was lost and the slot poisoned.
         """
         if consumer not in self.consumers:
             raise RendezvousError(
@@ -169,6 +243,12 @@ class RendezvousGroup:
         start = time.perf_counter()
         try:
             return self._rv.get(timeout)
+        except RendezvousAborted as exc:
+            raise RendezvousAborted(
+                f"rendezvous group {self._label!r}: consumer rank {consumer} "
+                f"released; producer task {self.producer!r} aborted "
+                f"({exc.__cause__!r})"
+            ) from exc.__cause__
         except RendezvousTimeout:
             elapsed = time.perf_counter() - start
             raise RendezvousTimeout(

@@ -22,6 +22,20 @@ order -- the fastest mode on a single core and the mode plan *replay*
 (:func:`repro.engine.run_many`) uses to amortize a cached plan over a
 stream of jobs.
 
+**Failure semantics.**  When any task raises, the engine *aborts* the
+attempt: every wired-but-unpublished rendezvous is poisoned with the
+original exception, so consumers blocked in a wait release in
+milliseconds (raising
+:class:`~repro.collectives.rendezvous.RendezvousAborted` with the cause
+chained) instead of burning the deadlock-guard timeout, and no worker
+thread outlives :meth:`Engine.execute`.  A typed
+:class:`~repro.machine.exceptions.RankFailure` (deterministic fault
+injection, :mod:`repro.faults`) is re-raised unwrapped; an installed
+recovery policy (``FailFast`` / ``RetryTask`` / ``CodedRecovery``, see
+:mod:`repro.faults.policy`) may instead repair the plan -- e.g.
+reconstruct the dead rank's input from checksums -- and re-execute just
+the tasks that are no longer ``done``.
+
 Paper anchor: Section 3 (executing the task DAG with real concurrency).
 """
 
@@ -37,6 +51,7 @@ from typing import Any
 # one diagnostic story.
 from repro.collectives.rendezvous import DEFAULT_TIMEOUT, RendezvousGroup
 from repro.engine.plan import EngineError, Plan, Ref, Task
+from repro.machine.exceptions import RankFailure
 from repro.telemetry.recorder import NULL_RECORDER
 
 __all__ = ["Engine", "EngineDeadlockError", "EngineExecutionError", "default_workers"]
@@ -48,6 +63,19 @@ class EngineDeadlockError(EngineError):
 
 class EngineExecutionError(EngineError):
     """A task's thunk raised; the original exception is chained."""
+
+
+def _clear_poison(plan: Plan) -> None:
+    """Strip stale rendezvous from every task before a retry attempt.
+
+    After an aborted attempt the unpublished slots carry the failure as
+    poison, and even a *done* producer may hold an aborted slot (its put
+    lost the race and was dropped).  ``_resolve_args`` would consult
+    those stale slots, so drop them all: done producers are read
+    directly, and re-wiring gives the rest fresh slots.
+    """
+    for task in plan.tasks:
+        task.rendezvous = None
 
 
 def default_workers() -> int:
@@ -116,6 +144,8 @@ class Engine:
         workers: int | None = None,
         timeout: float = DEFAULT_TIMEOUT,
         telemetry: Any = None,
+        fault_plan: Any = None,
+        recovery: Any = None,
     ) -> None:
         self.workers = int(workers) if workers is not None else default_workers()
         if self.workers < 1:
@@ -127,22 +157,67 @@ class Engine:
         #: task.  The owning Machine (or run_many) re-points this at the
         #: currently installed recorder.
         self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        #: Deterministic fault injection (duck-typed FaultPlan); consulted
+        #: once per task-step in :meth:`_run_task`.
+        self.fault_plan = fault_plan
+        #: Recovery policy (duck-typed; see repro.faults.policy).  When a
+        #: RankFailure escapes an attempt, ``handle(failure, plan, self,
+        #: attempt)`` may repair the plan and request a re-execution of
+        #: whatever is no longer done.
+        self.recovery = recovery
+        #: Checksum context installed by repro.faults.coded.run_coded_qr;
+        #: CodedRecovery reads it to reconstruct a dead rank's block.
+        self.coded_ctx = None
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(self, plan: Plan, timeout: float | None = None) -> None:
-        """Run every pending task in ``plan`` to completion."""
+        """Run every pending task in ``plan`` to completion.
+
+        A :class:`~repro.machine.exceptions.RankFailure` escaping an
+        attempt is offered to the installed recovery policy; when the
+        policy repairs the plan (resetting tasks to not-done), only that
+        remainder is re-executed.  Without a policy -- or when the policy
+        declines -- the failure is re-raised unwrapped.
+        """
         timeout = self.timeout if timeout is None else float(timeout)
-        pending = [t for t in plan.tasks if not t.done]
-        if not pending:
+        attempt = 0
+        while True:
+            pending = [t for t in plan.tasks if not t.done]
+            if not pending:
+                return
+            self._wire_rendezvous(plan, pending)
+            try:
+                if self.workers == 1:
+                    self._execute_inline(pending, timeout)
+                else:
+                    self._execute_pool(plan, pending, timeout)
+            except RankFailure as failure:
+                # Tasks that finished before the failure stay done; count
+                # them now because the success path below won't run.
+                self.tasks_run += sum(1 for t in pending if t.done)
+                rec = self.telemetry
+                if rec.enabled:
+                    rec.fault_detected(failure.rank, failure.step)
+                policy = self.recovery
+                if policy is None:
+                    raise
+                t0 = rec.now() if rec.enabled else time.perf_counter()
+                if not policy.handle(failure, plan, self, attempt):
+                    raise
+                _clear_poison(plan)
+                if rec.enabled:
+                    rec.fault_recovered(
+                        failure.rank,
+                        type(policy).__name__,
+                        t0,
+                        rec.now() - t0,
+                    )
+                attempt += 1
+                continue
+            self.tasks_run += len(pending)
             return
-        self._wire_rendezvous(plan, pending)
-        if self.workers == 1:
-            self._execute_inline(pending, timeout)
-        else:
-            self._execute_pool(plan, pending, timeout)
-        self.tasks_run += len(pending)
 
     def _wire_rendezvous(self, plan: Plan, pending: list[Task]) -> None:
         """Attach a rendezvous slot to every cross-rank-consumed producer.
@@ -180,6 +255,11 @@ class Engine:
             )
 
     def _run_task(self, task: Task, timeout: float) -> None:
+        fp = self.fault_plan
+        if fp is not None and task.rank is not None:
+            # Deterministic injection point: counts this rank's task-steps
+            # and raises RankFailure when the plan says this rank dies here.
+            fp.on_task(task.rank, task.label, telemetry=self.telemetry)
         rec = self.telemetry
         if not rec.enabled:
             args = _resolve_args(task.args, task.rank, timeout)
@@ -205,27 +285,30 @@ class Engine:
         for task in pending:
             try:
                 self._run_task(task, timeout)
+            except RankFailure:
+                # Typed fault-injection failure: propagate unwrapped so
+                # execute()'s recovery loop (or the caller) sees the rank
+                # and step, not an EngineExecutionError shell.
+                raise
             except Exception as exc:
                 raise EngineExecutionError(
                     f"task t{task.tid} ({task.label!r}, rank={task.rank}) failed: {exc}"
                 ) from exc
 
     @staticmethod
-    def _abort(pending: list[Task]) -> None:
+    def _abort(pending: list[Task], cause: BaseException) -> None:
         """Unblock every rendezvous consumer after a failure or deadlock.
 
-        Fills each unpublished slot with a sentinel so workers blocked
-        in ``rendezvous.get`` return promptly; their thunks then fail
-        and are ignored (the first failure is the one reported).
+        Poisons each unpublished slot with ``cause`` so workers blocked
+        in a rendezvous wait raise ``RendezvousAborted`` in milliseconds
+        (the real cause chained) instead of burning the full timeout;
+        their thunks then fail and are ignored -- the first failure is
+        the one reported -- and no worker thread outlives ``execute()``.
         """
-        sentinel = object()
         for task in pending:
             rv = task.rendezvous
             if rv is not None and not rv.ready:
-                try:
-                    rv.put(sentinel)
-                except Exception:  # pragma: no cover - benign race with producer
-                    pass
+                rv.abort(cause)
 
     def _execute_pool(self, plan: Plan, pending: list[Task], timeout: float) -> None:
         """Dataflow scheduling onto a thread pool."""
@@ -248,7 +331,7 @@ class Engine:
 
         remaining = len(pending)
         failure: tuple[Task, BaseException] | None = None
-        deadlocked = 0
+        deadlock: EngineDeadlockError | None = None
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             for task in pending:
                 if waiting[task.tid] == 0:
@@ -257,28 +340,35 @@ class Engine:
                 try:
                     task, exc = done_q.get(timeout=timeout)
                 except queue.Empty:
-                    deadlocked = remaining
-                    self._abort(pending)
+                    deadlock = EngineDeadlockError(
+                        f"no task completed within {timeout}s; "
+                        f"{remaining} tasks outstanding (deadlock guard)"
+                    )
+                    self._abort(pending, deadlock)
                     break
                 remaining -= 1
                 if exc is not None:
                     failure = (task, exc)
-                    self._abort(pending)
+                    self._abort(pending, exc)
                     break
                 for child in children.get(task.tid, ()):
                     waiting[child.tid] -= 1
                     if waiting[child.tid] == 0:
                         pool.submit(run, child)
+        # The `with` block joined every worker: threads woken by the
+        # poison fail fast and none outlive this call.
         if failure is not None:
             task, exc = failure
+            injected = exc if isinstance(exc, RankFailure) else (
+                exc.__cause__ if isinstance(exc.__cause__, RankFailure) else None
+            )
+            if injected is not None:
+                raise injected
             raise EngineExecutionError(
                 f"task t{task.tid} ({task.label!r}, rank={task.rank}) failed: {exc}"
             ) from exc
-        if deadlocked:
-            raise EngineDeadlockError(
-                f"no task completed within {timeout}s; "
-                f"{deadlocked} tasks outstanding (deadlock guard)"
-            )
+        if deadlock is not None:
+            raise deadlock
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Engine(workers={self.workers})"

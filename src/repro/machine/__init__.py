@@ -18,9 +18,11 @@ from repro.machine.cost_model import MACHINE_PROFILES, CostParams, CostReport
 from repro.machine.exceptions import (
     BackendCapabilityError,
     DistributionError,
+    FaultRecoveryError,
     MachineError,
     OwnershipError,
     ParameterError,
+    RankFailure,
     ReproError,
 )
 from repro.machine.machine import Counted, Machine, Meta, transfer_list, words_of
@@ -35,11 +37,13 @@ __all__ = [
     "Counted",
     "CostReport",
     "DistributionError",
+    "FaultRecoveryError",
     "Machine",
     "MachineError",
     "Meta",
     "OwnershipError",
     "ParameterError",
+    "RankFailure",
     "ReproError",
     "Trace",
     "TraceEvent",

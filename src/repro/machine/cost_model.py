@@ -124,6 +124,24 @@ class CostReport:
             "modeled_time": self.modeled_time,
         }
 
+    def delta(self, baseline: "CostReport") -> dict[str, float]:
+        """Aggregate-cost overhead of this run relative to ``baseline``.
+
+        Returns the exact extra volume (``total_*`` sums, not critical
+        paths) this execution spent beyond ``baseline`` -- the quantity
+        the fault-tolerance layer reports as checksum redundancy: a
+        coded run minus its plain run is precisely the encode traffic
+        and XOR flops (see ``docs/fault_tolerance.md``).  Words and
+        messages stay exact integers.
+        """
+        return {
+            "total_flops": self.total_flops - baseline.total_flops,
+            "total_words_sent": self.total_words_sent - baseline.total_words_sent,
+            "total_messages_sent": (
+                self.total_messages_sent - baseline.total_messages_sent
+            ),
+        }
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CostReport(P={self.processors}, F={self.critical_flops:.3g}, "

@@ -26,7 +26,7 @@ from repro.backend import SymbolicArray
 from repro.backend.registry import Backend, resolve_backend
 from repro.machine.clocks import ClockSet
 from repro.machine.cost_model import CostParams, CostReport
-from repro.machine.exceptions import MachineError
+from repro.machine.exceptions import MachineError, ParameterError
 from repro.machine.tracing import Trace
 from repro.telemetry.recorder import current_recorder
 
@@ -158,6 +158,8 @@ class Machine:
         backend: str | Backend = "numeric",
         workers: int | None = None,
         telemetry=None,
+        fault_plan=None,
+        recovery=None,
     ) -> None:
         if P < 1:
             raise MachineError(f"Machine requires P >= 1, got {P}")
@@ -166,6 +168,22 @@ class Machine:
         self.workers = workers
         impl = resolve_backend(backend)
         self.backend_impl = impl
+        if fault_plan is not None and impl.faults == "none":
+            raise ParameterError(
+                f"backend {impl.name!r} declares faults='none': nothing "
+                "executes there, so a FaultPlan can never fire"
+            )
+        if recovery is not None and getattr(recovery, "needs_engine", False) \
+                and impl.faults != "recover":
+            raise ParameterError(
+                f"recovery policy {type(recovery).__name__!r} needs an "
+                f"engine-backed backend (faults='recover'); backend "
+                f"{impl.name!r} declares faults={impl.faults!r}"
+            )
+        #: Deterministic fault injection (see repro.faults); consulted by
+        #: the engine per task-step and by eager kernel dispatches below.
+        self.fault_plan = fault_plan
+        self.recovery = recovery
         self.plan = impl.make_plan()
         self.engine = impl.make_engine(workers)
         self._receive = impl.receive_fn()
@@ -174,6 +192,8 @@ class Machine:
         self.telemetry = telemetry if telemetry is not None else current_recorder()
         if self.engine is not None:
             self.engine.telemetry = self.telemetry
+            self.engine.fault_plan = fault_plan
+            self.engine.recovery = recovery
         self.clocks = ClockSet(P, self.params.alpha, self.params.beta, self.params.gamma)
         self.trace: Trace | None = Trace() if trace else None
         # Aggregate (volume) counters; sends only, so volume counts each
@@ -225,6 +245,11 @@ class Machine:
         backend it is the plan-append cost (the kernel itself is timed
         later by the engine's task spans).
         """
+        if self.fault_plan is not None and p is not None and self.engine is None:
+            # Eager backends have no task stream; the n-th kernel dispatch
+            # on rank p is the injection point (the parallel backend
+            # injects per task-step inside the engine instead).
+            self.fault_plan.on_dispatch(p, label, telemetry=self.telemetry)
         rec = self.telemetry
         if rec.enabled:
             t0 = rec.now()

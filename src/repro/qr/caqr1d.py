@@ -18,6 +18,10 @@ The inductive case maps Algorithm 2's six multiplications onto 1D dmm:
   ``M2``, each processor updates its rows
   (:func:`~repro.matmul.mm1d_broadcast` + local subtraction).
 
+Like tsqr, the recursion touches only ``layout.participants()``, so
+spare ranks sit idle and :func:`repro.faults.run_coded_qr` can protect
+a run with XOR-checksum blocks (see ``docs/fault_tolerance.md``).
+
 Paper anchor: Section 6, Lemma 6, Eq. 10-11, Theorem 2 (1d-caqr-eg).
 """
 

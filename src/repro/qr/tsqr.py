@@ -19,6 +19,13 @@ The [BDG+15] variant the paper's Lemma 5 depends on:
 Costs (Lemma 5): ``gamma (max_p m_p n^2 + n^3 log P) + beta n^2 log P +
 alpha log P``.
 
+The algorithm iterates over ``layout.participants()`` only, so it runs
+unchanged on a machine with extra idle ranks -- which is how the
+fault-tolerance layer protects it: :func:`repro.faults.run_coded_qr`
+parks XOR-checksum copies of the input blocks on spare ranks and
+replays a dead rank's tasks from the reconstructed block (see
+``docs/fault_tolerance.md``).
+
 Paper anchor: Section 5, Appendix C (TSQR with Householder reconstruction).
 """
 

@@ -258,6 +258,25 @@ class TelemetryRecorder:
         self.span(name, "job", t0, dur, worker=threading.current_thread().name, **meta)
         self.metrics.observe("run_many.job_s", dur)
 
+    def fault_injected(self, rank: int, step: int) -> None:
+        """A FaultPlan killed ``rank`` at ``step`` (injection fired)."""
+        self.metrics.inc("faults.injected")
+
+    def fault_detected(self, rank: int, step: int) -> None:
+        """The engine caught a RankFailure escaping an attempt."""
+        self.metrics.inc("faults.detected")
+
+    def fault_recovered(
+        self, rank: int, policy: str, t0: float, dur: float
+    ) -> None:
+        """A recovery policy repaired the plan after ``rank`` died."""
+        self.span(
+            f"recovery:rank{rank}", "fault", t0, dur,
+            worker=threading.current_thread().name, policy=policy,
+        )
+        self.metrics.inc("faults.recoveries")
+        self.metrics.observe("faults.recovery_s", dur)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"TelemetryRecorder(spans={len(self._spans)}, "
@@ -294,6 +313,15 @@ class NullRecorder:
         pass
 
     def job_span(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def fault_injected(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def fault_detected(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def fault_recovered(self, *a: Any, **k: Any) -> None:
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -279,6 +279,8 @@ def run_qr(
     validate: bool = True,
     backend: str = "numeric",
     workers: int | None = None,
+    fault_plan=None,
+    recovery=None,
     **params,
 ) -> RunResult:
     """Run ``algorithm`` on global array ``A`` over ``P`` simulated processors.
@@ -301,6 +303,12 @@ def run_qr(
     validation are identical to the numeric backend within
     floating-point reproducibility -- for every algorithm in
     :data:`ALGORITHMS`.
+
+    ``fault_plan`` installs deterministic rank-kill triggers
+    (:class:`repro.faults.FaultPlan`) and ``recovery`` a policy for
+    them (see :mod:`repro.faults.policy`); both are forwarded to the
+    :class:`~repro.machine.Machine`.  For checksum-protected runs with
+    spare ranks, use :func:`repro.faults.run_coded_qr` instead.
     """
     impl = resolve_backend(backend)
     A = impl.coerce_global(A)
@@ -310,7 +318,10 @@ def run_qr(
     if algorithm not in ALGORITHMS:
         raise KeyError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
     m, n = A.shape
-    machine = Machine(P, params=cost_params, backend=backend, workers=workers)
+    machine = Machine(
+        P, params=cost_params, backend=backend, workers=workers,
+        fault_plan=fault_plan, recovery=recovery,
+    )
 
     factors, diag_fn, _slicer = drive(algorithm, machine, A, params, validate)
     # Parallel machines: run the recorded plan on the engine's thread

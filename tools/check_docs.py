@@ -36,6 +36,7 @@ REQUIRED = (
     "docs/tutorial.md",
     "docs/cost_model.md",
     "docs/observability.md",
+    "docs/fault_tolerance.md",
     "docs/paper_map.md",
 )
 

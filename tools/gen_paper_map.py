@@ -62,12 +62,18 @@ MODULE_MAP: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "repro/collectives/bounds.py": (("tests/test_collective_costs.py",), ("T1",)),
     "repro/collectives/context.py": (("tests/test_collectives.py",), ()),
     "repro/collectives/dispatch.py": (("tests/test_collectives.py",), ("A2",)),
-    "repro/collectives/rendezvous.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/collectives/rendezvous.py": (
+        ("tests/test_engine.py", "tests/test_faults.py"), ("E1", "E4")),
     "repro/dist/__init__.py": (("tests/test_dist.py",), ()),
     "repro/engine/__init__.py": (("tests/test_engine.py",), ("E1",)),
     "repro/engine/batch.py": (("tests/test_engine.py",), ("E1",)),
-    "repro/engine/executor.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/engine/executor.py": (
+        ("tests/test_engine.py", "tests/test_faults.py"), ("E1", "E4")),
     "repro/engine/lazy.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/faults/__init__.py": (("tests/test_faults.py",), ("E4",)),
+    "repro/faults/coded.py": (("tests/test_faults.py",), ("E4",)),
+    "repro/faults/inject.py": (("tests/test_faults.py",), ("E4",)),
+    "repro/faults/policy.py": (("tests/test_faults.py",), ("E4",)),
     "repro/engine/plan.py": (("tests/test_engine.py",), ("E1",)),
     "repro/dist/blockcyclic.py": (("tests/test_dist.py",), ("T2",)),
     "repro/dist/distmatrix.py": (
