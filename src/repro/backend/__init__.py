@@ -21,6 +21,7 @@ from repro.backend.ops import (
 )
 from repro.backend.registry import (
     Backend,
+    MpBackend,
     NumericBackend,
     ParallelBackend,
     SymbolicBackend,
@@ -32,6 +33,7 @@ from repro.backend.registry import (
 
 __all__ = [
     "Backend",
+    "MpBackend",
     "NumericBackend",
     "NumericOps",
     "ParallelBackend",

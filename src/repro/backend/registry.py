@@ -7,13 +7,14 @@ plan-recording hooks of the deferred engine, the engine factory, and
 the capability flags the run harness consults.  The three built-in
 modes are registered by name:
 
-======== =============================================================
-name     behavior
-======== =============================================================
-numeric  real numpy arithmetic, validatable factors (the reference)
-symbolic cost-only: shape/dtype stand-ins, no arithmetic, paper-scale
-parallel numeric metering, array work deferred to a thread-pool engine
-======== =============================================================
+=========== ==========================================================
+name        behavior
+=========== ==========================================================
+numeric     real numpy arithmetic, validatable factors (the reference)
+symbolic    cost-only: shape/dtype stand-ins, no arithmetic, paper-scale
+parallel    numeric metering, array work deferred to a thread-pool engine
+parallel-mp same recording, executed on a forked worker-process pool
+=========== ==========================================================
 
 Everything else in the library dispatches through this registry --
 ``Machine``, the run harness, the planner's measure/run paths, and the
@@ -24,7 +25,7 @@ variant) plugs in with :func:`register_backend` and no core changes:
 >>> get_backend("numeric").name
 'numeric'
 >>> sorted(available_backends())
-['numeric', 'parallel', 'symbolic']
+['numeric', 'parallel', 'parallel-mp', 'symbolic']
 >>> get_backend("symbolic").shape_inputs    # accepts (m, n) inputs
 True
 >>> get_backend("parallel").supports("caqr2d")
@@ -35,6 +36,8 @@ True
 'runtime'
 >>> get_backend("parallel").faults          # checksum-coded recovery
 'recover'
+>>> get_backend("parallel-mp").faults       # injection yes, plan surgery no
+'inject'
 >>> get_backend("symbolic").faults          # nothing executes, nothing dies
 'none'
 
@@ -58,6 +61,7 @@ from repro.backend.symbolic import SymbolicArray, is_symbolic
 
 __all__ = [
     "Backend",
+    "MpBackend",
     "NumericBackend",
     "ParallelBackend",
     "SymbolicBackend",
@@ -274,6 +278,33 @@ class ParallelBackend(Backend):
         return defer(machine.plan, fn, args, meta, rank=p, label=label)
 
 
+class MpBackend(ParallelBackend):
+    """The parallel recording pipeline executed on worker *processes*.
+
+    Identical to :class:`ParallelBackend` at record time (same plans,
+    same lazy arrays, same eager metering, so the ``CostReport`` is the
+    same object of facts) -- only the executor differs: a persistent
+    pool of forked worker processes with input leaves in shared memory
+    (:class:`repro.engine.mp.MpEngine`), so per-rank streams run on
+    real cores with no GIL.  Requires the ``fork`` start method; see
+    :func:`repro.engine.mp.mp_supported`.
+
+    ``faults`` is honestly ``"inject"``, not ``"recover"``: workers
+    consult the fault plan per task-step and the typed ``RankFailure``
+    propagates, but engine-repair policies (``CodedRecovery``) need
+    in-process plan surgery the pool cannot see, so ``Machine`` rejects
+    them on this backend.
+    """
+
+    name = "parallel-mp"
+    faults = "inject"
+
+    def make_engine(self, workers: int | None):
+        from repro.engine.mp import MpEngine
+
+        return MpEngine(workers)
+
+
 _NUMERIC_OPS = NumericOps()
 _SYMBOLIC_OPS = SymbolicOps()
 
@@ -328,3 +359,4 @@ def available_backends() -> tuple[str, ...]:
 register_backend(NumericBackend())
 register_backend(SymbolicBackend())
 register_backend(ParallelBackend())
+register_backend(MpBackend())

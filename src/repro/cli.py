@@ -41,13 +41,15 @@ def _backend_args(p: argparse.ArgumentParser) -> None:
         help="execution backend (registry-dispatched): symbolic = cost-only "
              "(no arithmetic, no validation; enables paper-scale m/n/P "
              "sweeps), parallel = same metering as numeric but the array "
-             "work runs on a thread pool (see --workers and "
-             "docs/architecture.md)",
+             "work runs on a thread pool, parallel-mp = the same on a "
+             "forked worker-process pool -- true multi-core, needs fork "
+             "(see --workers and docs/architecture.md)",
     )
     p.add_argument(
         "--workers", type=int, default=None,
-        help="thread count for --backend parallel "
-             "(default: available cores, capped at 8)",
+        help="worker count for --backend parallel (threads) or "
+             "parallel-mp (processes); default: available cores, capped "
+             "at 8",
     )
     p.add_argument(
         "--telemetry", action="store_true",

@@ -54,6 +54,7 @@ Section 8.1 (the grid-row fan-out patterns of the 2D baselines).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Iterable
@@ -65,10 +66,51 @@ __all__ = [
     "RendezvousError",
     "RendezvousGroup",
     "RendezvousTimeout",
+    "abort_release_message",
+    "starvation_message",
 ]
 
 #: Default seconds a consumer waits before declaring a deadlock.
 DEFAULT_TIMEOUT = 120.0
+
+
+# ----------------------------------------------------------------------
+# Shared diagnostic protocol (thread and process executors)
+# ----------------------------------------------------------------------
+# The thread engine's RendezvousGroup and the multiprocessing engine's
+# inbox handoffs (repro.engine.mp) enforce the same contract -- one-shot
+# publish, abort poisons with the first cause, starvation names the
+# starved party -- so their error text comes from one formatter.  A
+# deadlock report must carry four facts to be actionable: who starved
+# (consumer rank), on what (producer task), for how long, and *where*
+# (executor flavor and OS pid -- a thread pool shares the driver's pid,
+# a worker-process pool does not).
+
+def starvation_message(
+    label: str, consumer: int | None, elapsed: float, producer: str,
+    flavor: str = "thread", pid: int | None = None,
+) -> str:
+    """The canonical :class:`RendezvousTimeout` text for a starved take."""
+    pid = os.getpid() if pid is None else pid
+    return (
+        f"rendezvous group {label!r}: consumer rank {consumer} "
+        f"starved for {elapsed:.2f}s waiting on producer task "
+        f"{producer!r} (never published; possible deadlock) "
+        f"[executor={flavor} pid={pid}]"
+    )
+
+
+def abort_release_message(
+    label: str, consumer: int | None, producer: str, cause: BaseException | None,
+    flavor: str = "thread", pid: int | None = None,
+) -> str:
+    """The canonical :class:`RendezvousAborted` text for a poisoned take."""
+    pid = os.getpid() if pid is None else pid
+    return (
+        f"rendezvous group {label!r}: consumer rank {consumer} "
+        f"released; producer task {producer!r} aborted "
+        f"({cause!r}) [executor={flavor} pid={pid}]"
+    )
 
 
 class RendezvousError(RuntimeError):
@@ -190,10 +232,11 @@ class RendezvousGroup:
     discipline as :class:`Rendezvous`, with fan-out observability.
     """
 
-    __slots__ = ("_rv", "consumers", "_label", "producer")
+    __slots__ = ("_rv", "consumers", "_label", "producer", "flavor")
 
     def __init__(
-        self, consumers: Iterable[int], label: str = "", producer: str = ""
+        self, consumers: Iterable[int], label: str = "", producer: str = "",
+        flavor: str = "thread",
     ) -> None:
         self.consumers = frozenset(int(c) for c in consumers)
         if not self.consumers:
@@ -206,6 +249,10 @@ class RendezvousGroup:
         #: passes ``"t<tid>:<label> (rank <r>)"``) -- named in timeout
         #: errors so a deadlock report says *what* never published.
         self.producer = producer or label
+        #: Executor flavor named in timeout/abort diagnostics ("thread"
+        #: for the in-process engine; the mp engine's process-side
+        #: handoffs report "process" through the same formatters).
+        self.flavor = flavor
 
     @property
     def ready(self) -> bool:
@@ -230,10 +277,11 @@ class RendezvousGroup:
 
         Raises :class:`RendezvousError` for an undeclared consumer,
         :class:`RendezvousTimeout` on starvation -- naming the starved
-        consumer rank, the producing task, and the elapsed wait, so a
-        deadlock report is actionable without re-running under a
-        debugger -- and :class:`RendezvousAborted` (immediately, cause
-        chained) when the producer was lost and the slot poisoned.
+        consumer rank, the producing task, the elapsed wait, and the
+        executor flavor + worker pid, so a deadlock report is
+        actionable without re-running under a debugger -- and
+        :class:`RendezvousAborted` (immediately, cause chained) when
+        the producer was lost and the slot poisoned.
         """
         if consumer not in self.consumers:
             raise RendezvousError(
@@ -245,16 +293,18 @@ class RendezvousGroup:
             return self._rv.get(timeout)
         except RendezvousAborted as exc:
             raise RendezvousAborted(
-                f"rendezvous group {self._label!r}: consumer rank {consumer} "
-                f"released; producer task {self.producer!r} aborted "
-                f"({exc.__cause__!r})"
+                abort_release_message(
+                    self._label, consumer, self.producer, exc.__cause__,
+                    flavor=self.flavor,
+                )
             ) from exc.__cause__
         except RendezvousTimeout:
             elapsed = time.perf_counter() - start
             raise RendezvousTimeout(
-                f"rendezvous group {self._label!r}: consumer rank {consumer} "
-                f"starved for {elapsed:.2f}s waiting on producer task "
-                f"{self.producer!r} (never published; possible deadlock)"
+                starvation_message(
+                    self._label, consumer, elapsed, self.producer,
+                    flavor=self.flavor,
+                )
             ) from None
 
     def get(self, timeout: float = DEFAULT_TIMEOUT, consumer: int | None = None) -> Any:

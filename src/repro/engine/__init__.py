@@ -26,7 +26,15 @@ from repro.engine.executor import (
     EngineExecutionError,
     default_workers,
 )
-from repro.engine.lazy import LazyArray, ParallelOps, defer, is_lazy, receive, resolve
+from repro.engine.lazy import (
+    LazyArray,
+    ParallelOps,
+    defer,
+    is_lazy,
+    output_tids,
+    receive,
+    resolve,
+)
 from repro.engine.plan import EngineError, Plan, Ref, Task
 
 __all__ = [
@@ -35,6 +43,7 @@ __all__ = [
     "EngineError",
     "EngineExecutionError",
     "LazyArray",
+    "MpEngine",
     "ParallelOps",
     "Plan",
     "QRJob",
@@ -43,6 +52,8 @@ __all__ = [
     "default_workers",
     "defer",
     "is_lazy",
+    "mp_supported",
+    "output_tids",
     "receive",
     "resolve",
     "run_many",
@@ -50,10 +61,15 @@ __all__ = [
 
 
 def __getattr__(name):
-    # repro.engine.batch pulls in the workload/runner stack; load it on
-    # first use so importing the engine stays cheap and cycle-free.
+    # repro.engine.batch pulls in the workload/runner stack, and
+    # repro.engine.mp pulls in multiprocessing; load each on first use
+    # so importing the engine stays cheap and cycle-free.
     if name in ("run_many", "QRJob", "clear_plan_cache"):
         from repro.engine import batch
 
         return getattr(batch, name)
+    if name in ("MpEngine", "mp_supported"):
+        from repro.engine import mp
+
+        return getattr(mp, name)
     raise AttributeError(f"module 'repro.engine' has no attribute {name!r}")

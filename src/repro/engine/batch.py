@@ -99,15 +99,18 @@ def clear_plan_cache() -> None:
 def _job_key(
     alg: str, m: int, n: int, P: int, dtype, params: dict,
     workers: int | None, cost_params: CostParams | None, validate: bool,
+    backend_name: str,
 ) -> tuple:
     # workers and cost_params are part of plan identity: a cached plan
     # carries its machine's engine configuration and its report.
     # validate is too: a validating plan records extra result kernels
     # (the 2D baselines' T reconstruction) that a cost-only stream must
-    # not re-execute on every replay.
+    # not re-execute on every replay.  The backend name is as well --
+    # "parallel" and "parallel-mp" plans carry different engines (thread
+    # pool vs forked process pool) and must never alias in the cache.
     return (
         alg, m, n, P, np.dtype(dtype).str, tuple(sorted(params.items())),
-        workers, cost_params, validate,
+        workers, cost_params, validate, backend_name,
     )
 
 
@@ -145,9 +148,11 @@ def _replay(cached: _CachedPlan, A: np.ndarray) -> tuple:
     # blocks -- slice the new matrix the same deterministic way.
     machine.plan.rebind(cached.slicer(A))
     machine.plan.reset()
-    machine.engine.execute(machine.plan)
-    from repro.engine.lazy import resolve
+    from repro.engine.lazy import output_tids, resolve
 
+    machine.engine.execute(
+        machine.plan, outputs=output_tids(cached.lazy_factors)
+    )
     return resolve(cached.lazy_factors)
 
 
@@ -232,7 +237,8 @@ def run_many(
                 )
             continue
 
-        key = _job_key(alg, m, n, P_job, A.dtype, params, workers, cost_params, validate)
+        key = _job_key(alg, m, n, P_job, A.dtype, params, workers, cost_params,
+                       validate, impl.name)
         cached = _PLAN_CACHE.get(key)
         hit = cached is not None
         if rec.enabled:

@@ -172,7 +172,12 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, plan: Plan, timeout: float | None = None) -> None:
+    def execute(
+        self,
+        plan: Plan,
+        timeout: float | None = None,
+        outputs: Any = None,
+    ) -> None:
         """Run every pending task in ``plan`` to completion.
 
         A :class:`~repro.machine.exceptions.RankFailure` escaping an
@@ -180,7 +185,14 @@ class Engine:
         policy repairs the plan (resetting tasks to not-done), only that
         remainder is re-executed.  Without a policy -- or when the policy
         declines -- the failure is re-raised unwrapped.
+
+        ``outputs`` is an optional hint naming the tids the caller will
+        resolve afterwards.  The in-process engine ignores it (every
+        task's value already lives in this address space); out-of-process
+        engines (:class:`repro.engine.mp.MpEngine`) use it to ship only
+        the needed values back.
         """
+        del outputs  # every value is local; nothing to ship
         timeout = self.timeout if timeout is None else float(timeout)
         attempt = 0
         while True:

@@ -45,6 +45,7 @@ __all__ = [
     "ParallelOps",
     "defer",
     "is_lazy",
+    "output_tids",
     "receive",
     "resolve",
 ]
@@ -156,6 +157,18 @@ def receive(plan: Plan, dst: int, payload: Any, label: str = "") -> Any:
     return _map_structure(
         payload, lambda la: LazyArray(la.plan, la.meta, Ref(task, next(it)))
     )
+
+
+def output_tids(obj: Any) -> tuple[int, ...]:
+    """The producing-task tids of every :class:`LazyArray` in ``obj``.
+
+    This is the ``outputs=`` hint for ``engine.execute``: the set of
+    task values a subsequent :func:`resolve` of ``obj`` will read, which
+    an out-of-process engine must ship back to this address space.
+    """
+    lazies: list[LazyArray] = []
+    _scan_lazies(obj, lazies)
+    return tuple(dict.fromkeys(la.ref.task.tid for la in lazies))
 
 
 def resolve(obj: Any) -> Any:

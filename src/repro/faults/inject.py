@@ -171,6 +171,30 @@ class FaultPlan:
         with self._lock:
             return tuple(self.faults[i] for i in sorted(self._fired))
 
+    def snapshot(self) -> tuple[dict, frozenset]:
+        """Picklable copy of the counters + fired set (state transport).
+
+        The multiprocessing engine's workers consult fork-inherited
+        *copies* of this plan; each ships its state back so the parent
+        can :meth:`absorb` it and keep ``fired`` truthful.
+        """
+        with self._lock:
+            return dict(self._counts), frozenset(self._fired)
+
+    def absorb(self, snap: tuple[dict, "frozenset[int]"]) -> None:
+        """Merge a child copy's :meth:`snapshot` into this plan.
+
+        Counters take the maximum per (rank, where) key -- each rank's
+        steps are counted by exactly one worker, so the max is that
+        worker's truth -- and fired triggers union in.
+        """
+        counts, fired = snap
+        with self._lock:
+            for key, step in counts.items():
+                if step > self._counts.get(key, 0):
+                    self._counts[key] = step
+            self._fired.update(fired)
+
     def reset(self) -> None:
         """Re-arm every trigger and zero the step counters (fresh run)."""
         with self._lock:

@@ -271,9 +271,14 @@ class Machine:
         """
         if self.plan is None:
             return obj
-        from repro.engine import resolve
+        from repro.engine import output_tids, resolve
 
-        self.engine.execute(self.plan, timeout=timeout)
+        # The outputs hint lets an out-of-process engine (parallel-mp)
+        # ship back exactly the values resolve() will read; the
+        # in-process engine ignores it.
+        self.engine.execute(
+            self.plan, timeout=timeout, outputs=output_tids(obj)
+        )
         return resolve(obj) if obj is not None else None
 
     # ------------------------------------------------------------------

@@ -231,12 +231,19 @@ class TelemetryRecorder:
     # ------------------------------------------------------------------
     def task_span(
         self, label: str, tid: int, rank: int | None, t0: float, dur: float,
-        wait_s: float,
+        wait_s: float, worker: str | None = None,
     ) -> None:
-        """An engine task ran: span plus task/wait metrics."""
+        """An engine task ran: span plus task/wait metrics.
+
+        ``worker`` defaults to the current thread's name (the thread
+        engine records from inside its pool); the multiprocessing engine
+        replays its workers' spans from the parent and passes
+        ``"pid<N>"`` so the trace keeps one track per worker process.
+        """
         self.span(
             label or f"t{tid}", "task", t0, dur, rank=rank,
-            worker=threading.current_thread().name, wait_s=wait_s, tid=tid,
+            worker=worker if worker is not None else threading.current_thread().name,
+            wait_s=wait_s, tid=tid,
         )
         self.metrics.inc("engine.tasks")
         self.metrics.observe("engine.task_s", dur)

@@ -8,6 +8,32 @@ import pytest
 from repro.machine import Machine
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "mp: test needs the parallel-mp backend (fork start method + "
+        "POSIX shared memory); skipped cleanly on platforms without them",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    # Skip-if-unavailable idiom: the parallel-mp backend ships plans by
+    # fork inheritance and rebinds leaves through POSIX shared memory,
+    # so on spawn-only platforms its tests skip (cleanly, by marker)
+    # rather than fail -- tier 1 stays green everywhere.
+    from repro.engine.mp import mp_supported
+
+    if mp_supported():
+        return
+    skip_mp = pytest.mark.skip(
+        reason="parallel-mp backend unavailable: no fork start method / "
+        "POSIX shared memory on this platform"
+    )
+    for item in items:
+        if "mp" in item.keywords:
+            item.add_marker(skip_mp)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

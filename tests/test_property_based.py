@@ -1,14 +1,18 @@
 """Property-based tests (hypothesis) on core invariants.
 
-Four families:
+Five families:
 * partition/layout invariants (exact combinatorial properties);
 * collective semantics on arbitrary shapes/groups;
 * max-plus clock laws (critical paths never shrink, joins dominate);
 * QR invariants (factorization, orthogonality, structure) on random
-  shapes, thresholds, and processor counts.
+  shapes, thresholds, and processor counts;
+* backend conformance: over random shapes and dtypes, every execution
+  backend pair (numeric / parallel / parallel-mp) produces the same
+  ``CostReport`` and bit-identical residuals through ``run_qr``.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -208,3 +212,55 @@ class TestQRProperties:
         dA = DistMatrix.from_global(machine, A, BlockRowLayout(balanced_sizes(m, P)))
         res = qr_1d_caqr_eg(dA, root=0, b=min(b, n))
         assert qr_diagnostics(A, res.V.to_global(), res.T, res.R).ok(1e-8)
+
+
+# Backend pairs: the process-pool pairs skip (marker, see conftest) on
+# platforms without fork + POSIX shared memory.
+BACKEND_PAIRS = [
+    ("numeric", "parallel"),
+    pytest.param(("numeric", "parallel-mp"), marks=pytest.mark.mp,
+                 id="numeric-parallel_mp"),
+    pytest.param(("parallel", "parallel-mp"), marks=pytest.mark.mp,
+                 id="parallel-parallel_mp"),
+]
+
+# Forking a worker pool per example is pricier than the pure-python
+# properties above, so this family draws fewer examples.
+CONFORMANCE_SETTINGS = settings(max_examples=6, deadline=None)
+
+
+class TestBackendConformanceProperties:
+    """Execution backends are interchangeable: same costs, same bits.
+
+    The deterministic grid lives in ``tests/test_mp_backend.py``; here
+    hypothesis drives the *shape and dtype* axes, hunting for cells
+    (uneven row splits, single-column panels, float32 inputs, workers
+    coprime with P) where an ownership or handoff bug would make one
+    backend meter or compute differently from another.
+    """
+
+    @pytest.mark.parametrize("pair", BACKEND_PAIRS)
+    @given(
+        alg=st.sampled_from(["tsqr", "house1d", "caqr1d"]),
+        P=st.integers(2, 5),
+        n=st.integers(1, 6),
+        extra=st.integers(0, 17),
+        workers=st.integers(1, 3),
+        dtype=st.sampled_from([np.float64, np.float32]),
+        seed=st.integers(0, 999),
+    )
+    @CONFORMANCE_SETTINGS
+    def test_run_qr_cost_reports_agree(self, pair, alg, P, n, extra,
+                                       workers, dtype, seed):
+        from repro.workloads import run_qr
+
+        m = max(n * P, n) + extra  # every rank holds >= n rows
+        A = gaussian(m, n, seed=seed).astype(dtype)
+        left, right = pair
+        a = run_qr(alg, A, P=P, validate=True, backend=left, workers=workers)
+        b = run_qr(alg, A, P=P, validate=True, backend=right, workers=workers)
+        assert a.report == b.report
+        assert a.words_by_label == b.words_by_label
+        # Same dataflow, same kernels: residuals match bit for bit.
+        assert a.diagnostics.residual == b.diagnostics.residual
+        assert a.diagnostics.orthogonality == b.diagnostics.orthogonality

@@ -70,6 +70,8 @@ MODULE_MAP: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "repro/engine/executor.py": (
         ("tests/test_engine.py", "tests/test_faults.py"), ("E1", "E4")),
     "repro/engine/lazy.py": (("tests/test_engine.py",), ("E1",)),
+    "repro/engine/mp.py": (
+        ("tests/test_mp_backend.py", "tests/test_property_based.py"), ("E5",)),
     "repro/faults/__init__.py": (("tests/test_faults.py",), ("E4",)),
     "repro/faults/coded.py": (("tests/test_faults.py",), ("E4",)),
     "repro/faults/inject.py": (("tests/test_faults.py",), ("E4",)),
