@@ -20,6 +20,7 @@ Paper anchor: Section 3 (the machine model's DAG executed with real
 concurrency).
 """
 
+from repro.engine.compile import CompiledPlan, bind_stream, compile_plan
 from repro.engine.executor import (
     Engine,
     EngineDeadlockError,
@@ -38,6 +39,7 @@ from repro.engine.lazy import (
 from repro.engine.plan import EngineError, Plan, Ref, Task
 
 __all__ = [
+    "CompiledPlan",
     "Engine",
     "EngineDeadlockError",
     "EngineError",
@@ -49,6 +51,8 @@ __all__ = [
     "QRJob",
     "Ref",
     "Task",
+    "bind_stream",
+    "compile_plan",
     "default_workers",
     "defer",
     "is_lazy",

@@ -99,8 +99,9 @@ def clear_plan_cache() -> None:
 def _job_key(
     alg: str, m: int, n: int, P: int, dtype, params: dict,
     workers: int | None, cost_params: CostParams | None, validate: bool,
-    backend_name: str,
+    backend_name: str, compile_plans: bool,
 ) -> tuple:
+    # Every field that changes the cached artifact must be here.
     # workers and cost_params are part of plan identity: a cached plan
     # carries its machine's engine configuration and its report.
     # validate is too: a validating plan records extra result kernels
@@ -108,19 +109,23 @@ def _job_key(
     # not re-execute on every replay.  The backend name is as well --
     # "parallel" and "parallel-mp" plans carry different engines (thread
     # pool vs forked process pool) and must never alias in the cache.
+    # And so is the compile flag: a cached plan's engine holds a
+    # compiled schedule (or deliberately none), so a compiled stream and
+    # a --no-compile A/B stream must never share an entry.
     return (
         alg, m, n, P, np.dtype(dtype).str, tuple(sorted(params.items())),
-        workers, cost_params, validate, backend_name,
+        workers, cost_params, validate, backend_name, compile_plans,
     )
 
 
 def _build(
     alg: str, A: np.ndarray, P: int, params: dict,
     workers: int | None, cost_params: CostParams | None,
-    backend: Backend, validate: bool,
+    backend: Backend, validate: bool, compile: bool | None = None,
 ) -> _CachedPlan:
     """First job of a shape: run the full driver once, keep the plan."""
-    machine = Machine(P, params=cost_params, backend=backend, workers=workers)
+    machine = Machine(P, params=cost_params, backend=backend, workers=workers,
+                      compile=compile)
     resolved = dict(params)
     factors, diag_fn, slicer = drive(alg, machine, A, resolved, validate=validate)
     n_blocks = len(slicer(A))
@@ -164,6 +169,7 @@ def run_many(
     plan_with: str | CostParams | None = None,
     cost_params: CostParams | None = None,
     backend: str | Backend = "parallel",
+    compile: bool | None = None,
 ) -> list[RunResult]:
     """Factor a stream of matrices, amortizing plans across the stream.
 
@@ -192,6 +198,10 @@ def run_many(
         default ``"parallel"`` amortizes plans by replay; any
         non-parallel backend runs each job through the one-shot
         harness :func:`repro.workloads.run_qr` instead.
+    compile:
+        ``False`` disables the :mod:`repro.engine.compile` pass on the
+        engine backends (the A/B debugging baseline); ``None`` keeps
+        the engine default (on).  Part of the plan-cache key.
     """
     impl = resolve_backend(backend)
     rec = current_recorder()
@@ -228,7 +238,8 @@ def run_many(
             # Eager backends have no plan to amortize: one-shot harness.
             results.append(
                 run_qr(alg, A, P=P_job, cost_params=cost_params,
-                       validate=validate, backend=impl, workers=workers, **params)
+                       validate=validate, backend=impl, workers=workers,
+                       compile=compile, **params)
             )
             if rec.enabled:
                 rec.job_span(
@@ -238,7 +249,8 @@ def run_many(
             continue
 
         key = _job_key(alg, m, n, P_job, A.dtype, params, workers, cost_params,
-                       validate, impl.name)
+                       validate, impl.name,
+                       compile if compile is not None else True)
         cached = _PLAN_CACHE.get(key)
         hit = cached is not None
         if rec.enabled:
@@ -246,7 +258,8 @@ def run_many(
                 "run_many.plan_cache.hits" if hit else "run_many.plan_cache.misses"
             )
         if not hit:
-            cached = _build(alg, A, P_job, params, workers, cost_params, impl, validate)
+            cached = _build(alg, A, P_job, params, workers, cost_params, impl,
+                            validate, compile)
             _PLAN_CACHE[key] = cached
             factors = cached.machine.materialize(cached.lazy_factors)
         else:

@@ -50,6 +50,7 @@ from typing import Any
 # The engine guard shares the rendezvous consumer timeout: one value,
 # one diagnostic story.
 from repro.collectives.rendezvous import DEFAULT_TIMEOUT, RendezvousGroup
+from repro.engine.compile import CompiledPlan, bind_stream, compile_plan
 from repro.engine.plan import EngineError, Plan, Ref, Task
 from repro.machine.exceptions import RankFailure
 from repro.telemetry.recorder import NULL_RECORDER
@@ -168,6 +169,20 @@ class Engine:
         #: Checksum context installed by repro.faults.coded.run_coded_qr;
         #: CodedRecovery reads it to reconstruct a dead rank's block.
         self.coded_ctx = None
+        #: Run plans through the :mod:`repro.engine.compile` pass (task
+        #: fusion, worker affinity, pre-resolved args).  Off, the engine
+        #: uses the original dataflow scheduler -- the A/B baseline the
+        #: conformance tests and ``--no-compile`` exercise.
+        self.compile = True
+        # Compiled-schedule cache: one compile+bind per plan object,
+        # invalidated when the plan grows (incremental materialize).
+        self._cplan: CompiledPlan | None = None
+        self._cplan_for: Plan | None = None
+        self._bound: list[_BoundStream] = []
+        # Mutable cells shared with the bound fetch closures (the
+        # binding outlives any single execute() call).
+        self._ctimeout = [self.timeout]
+        self._progress = [0]
 
     # ------------------------------------------------------------------
     # Execution
@@ -199,9 +214,13 @@ class Engine:
             pending = [t for t in plan.tasks if not t.done]
             if not pending:
                 return
-            self._wire_rendezvous(plan, pending)
+            compiled = self._compiled(plan) if self.compile else None
+            if compiled is None:
+                self._wire_rendezvous(plan, pending)
             try:
-                if self.workers == 1:
+                if compiled is not None:
+                    self._execute_compiled(pending, timeout)
+                elif self.workers == 1:
                     self._execute_inline(pending, timeout)
                 else:
                     self._execute_pool(plan, pending, timeout)
@@ -382,5 +401,217 @@ class Engine:
         if deadlock is not None:
             raise deadlock
 
+    # ------------------------------------------------------------------
+    # Compiled execution (repro.engine.compile)
+    # ------------------------------------------------------------------
+    def _compiled(self, plan: Plan) -> CompiledPlan | None:
+        """The compiled schedule for ``plan``, rebuilt when it grows."""
+        if self._cplan_for is plan and self._cplan.n_tasks == len(plan.tasks):
+            return self._cplan
+        cplan = compile_plan(plan, self.workers)
+        self._bound = [
+            _BoundStream(self, cplan, widx) for widx in range(cplan.workers)
+        ]
+        self._cplan = cplan
+        self._cplan_for = plan
+        return cplan
+
+    def _execute_compiled(self, pending: list[Task], timeout: float) -> None:
+        """Run the not-done remainder on the compiled worker streams."""
+        self._ctimeout[0] = timeout
+        cplan = self._cplan
+        # Wire a rendezvous on every cross-worker producer that has yet
+        # to run; one already done (incremental materialize, or a retry
+        # resuming past it) is read directly by its consumers.
+        for pub in cplan.publishers:
+            task = pub.task
+            if not task.done and task.rendezvous is None:
+                task.rendezvous = RendezvousGroup(
+                    pub.consumers,
+                    label=(
+                        f"t{task.tid}:{task.label} "
+                        f"rank{task.rank}->ranks{sorted(pub.consumers)}"
+                    ),
+                    producer=f"t{task.tid}:{task.label} (rank {task.rank})",
+                )
+        if self.workers == 1:
+            # One stream, zero rendezvous: run in the caller's thread
+            # (no guard, matching the uncompiled inline mode).
+            self._run_stream(self._bound[0], None)
+            return
+        live = [
+            bs for bs in self._bound
+            if any(not bt.task.done for step in bs.steps for bt in step.tasks)
+        ]
+        if not live:
+            return
+        self._execute_compiled_pool(live, pending, timeout)
+
+    def _execute_compiled_pool(
+        self, live: list["_BoundStream"], pending: list[Task], timeout: float
+    ) -> None:
+        """One pool job per live stream, with a progress-based guard.
+
+        Streams block *inside* rendezvous fetches rather than parking in
+        the scheduler, so the deadlock guard watches a per-task progress
+        counter: no task completing for ``timeout`` seconds while work
+        is outstanding trips :class:`EngineDeadlockError`, mirroring the
+        uncompiled driver's ``done_q.get(timeout=...)`` guard.
+        """
+        progress = self._progress
+        done_q: "queue.SimpleQueue[BaseException | None]" = queue.SimpleQueue()
+
+        def run(bs: "_BoundStream") -> None:
+            try:
+                self._run_stream(bs, progress)
+                done_q.put(None)
+            except BaseException as exc:  # noqa: BLE001 - reported to the driver
+                done_q.put(exc)
+
+        remaining = len(live)
+        failure: BaseException | None = None
+        deadlock: EngineDeadlockError | None = None
+        poll = min(timeout, 0.25)
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(live))) as pool:
+            for bs in live:
+                pool.submit(run, bs)
+            last = progress[0]
+            stall = 0.0
+            while remaining:
+                try:
+                    exc = done_q.get(timeout=poll)
+                except queue.Empty:
+                    if progress[0] != last:
+                        last = progress[0]
+                        stall = 0.0
+                        continue
+                    stall += poll
+                    if stall + 1e-9 >= timeout:
+                        outstanding = sum(1 for t in pending if not t.done)
+                        deadlock = EngineDeadlockError(
+                            f"no task completed within {timeout}s; "
+                            f"{outstanding} tasks outstanding (deadlock guard)"
+                        )
+                        self._abort(pending, deadlock)
+                        break
+                    continue
+                remaining -= 1
+                last = progress[0]
+                stall = 0.0
+                if exc is not None:
+                    failure = exc
+                    self._abort(pending, exc)
+                    break
+        # The `with` block joined every worker (poisoned slots release
+        # blocked streams in milliseconds).
+        if failure is not None:
+            injected = failure if isinstance(failure, RankFailure) else (
+                failure.__cause__
+                if isinstance(failure.__cause__, RankFailure)
+                else None
+            )
+            if injected is not None:
+                raise injected
+            raise failure
+        if deadlock is not None:
+            raise deadlock
+
+    def _run_stream(self, bs: "_BoundStream", progress: list[int] | None) -> None:
+        """Walk one bound stream in tid order, skipping done tasks.
+
+        Fused steps execute their members back to back and report one
+        telemetry span carrying ``fused_n``; a step interrupted by a
+        failure resumes at its first not-done member on the next attempt
+        (the per-task ``done`` flags are the resume points), which keeps
+        fault-injection step counts identical to the uncompiled path.
+        """
+        fp = self.fault_plan
+        waits = bs.waits
+        cur: Task | None = None
+        try:
+            for step in bs.steps:
+                rec = self.telemetry
+                enabled = rec.enabled
+                if enabled:
+                    t0 = rec.now()
+                    waits[0] = 0.0
+                ran = 0
+                for bt in step.tasks:
+                    task = bt.task
+                    if task.done:
+                        continue
+                    cur = task
+                    if fp is not None and task.rank is not None:
+                        fp.on_task(task.rank, task.label, telemetry=rec)
+                    task.value = bt.fn(*bt.make_args())
+                    rv = task.rendezvous
+                    if rv is not None:
+                        rv.put(task.value)
+                    task.done = True
+                    ran += 1
+                    if progress is not None:
+                        progress[0] += 1
+                if enabled and ran:
+                    dur = rec.now() - t0
+                    if len(step.tasks) > 1:
+                        rec.task_span(
+                            step.label, step.tid, step.rank, t0, dur,
+                            waits[0], fused_n=ran,
+                        )
+                    else:
+                        rec.task_span(
+                            step.label, step.tid, step.rank, t0, dur, waits[0]
+                        )
+        except RankFailure:
+            raise
+        except Exception as exc:
+            if cur is not None:
+                raise EngineExecutionError(
+                    f"task t{cur.tid} ({cur.label!r}, rank={cur.rank}) "
+                    f"failed: {exc}"
+                ) from exc
+            raise EngineExecutionError(str(exc)) from exc  # pragma: no cover
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Engine(workers={self.workers})"
+
+
+class _BoundStream:
+    """One worker's bound steps plus its rendezvous-wait accumulator.
+
+    The remote fetch closes over the owning engine's mutable timeout
+    cell and reads ``engine.telemetry`` at call time, so a binding is
+    valid across replays even as ``run_many`` re-points the recorder.
+    """
+
+    __slots__ = ("steps", "waits")
+
+    def __init__(self, engine: Engine, cplan: CompiledPlan, widx: int) -> None:
+        waits = [0.0]
+        ctimeout = engine._ctimeout
+
+        def remote_fetch(dep: Task, consumer: Task) -> Any:
+            if dep.done:
+                return dep.value
+            rv = dep.rendezvous
+            if rv is None:
+                # The producer finished between the two reads above.
+                if dep.done:  # pragma: no cover - narrow race
+                    return dep.value
+                raise EngineError(
+                    f"compiled fetch: producer t{dep.tid} ({dep.label!r}) "
+                    "has no rendezvous and is not done"
+                )
+            rec = engine.telemetry
+            if rec.enabled:
+                t0 = time.perf_counter()
+                value = rv.get(ctimeout[0], consumer=consumer.rank)
+                waited = time.perf_counter() - t0
+                waits[0] += waited
+                rec.rendezvous_wait(dep.label, consumer.rank, waited)
+            else:
+                value = rv.get(ctimeout[0], consumer=consumer.rank)
+            return value
+
+        self.waits = waits
+        self.steps = bind_stream(cplan, widx, None, remote_fetch)

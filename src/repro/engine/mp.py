@@ -195,6 +195,7 @@ def _worker_main(
     result_q: Any,
     shm_specs: dict[int, tuple[Any, tuple, Any]],
     fault_plan: Any,
+    compiled: bool = True,
 ) -> None:
     """One pool worker: run owned tasks per epoch until told to stop.
 
@@ -202,12 +203,24 @@ def _worker_main(
     mutations after the fork are invisible, which is exactly why input
     leaves travel through shared memory and everything else is fixed at
     ship time.
+
+    With ``compiled`` (the default), the worker runs its
+    :func:`repro.engine.compile.compile_plan` stream -- same ownership
+    partition, same tid order, pre-resolved arguments and fused chains
+    -- instead of resolving ``Ref`` trees per task per epoch.  The
+    compile is pure and deterministic, so every worker agrees on the
+    schedule without communicating.
     """
     pid = os.getpid()
     leaf_views = {
         tid: np.ndarray(shape, dtype=dtype, buffer=seg.buf)
         for tid, (seg, shape, dtype) in shm_specs.items()
     }
+    if compiled:
+        _compiled_worker_loop(
+            idx, W, plan, cmd_q, inboxes, result_q, leaf_views, fault_plan, pid
+        )
+        return
     run_list = [t for t in plan.tasks if _executes(t, idx, W)]
     sends = {
         tid: dests - {idx}
@@ -311,7 +324,7 @@ def _worker_main(
                 if telem_on:
                     spans.append((
                         task.label, task.tid, task.rank,
-                        t0, time.perf_counter() - t0, waited[0],
+                        t0, time.perf_counter() - t0, waited[0], 1,
                     ))
         except BaseException as exc:  # noqa: BLE001 - reported to the parent
             enc = _encode_exc(exc, current[0])
@@ -331,6 +344,155 @@ def _worker_main(
             tid: values[tid]
             for tid in output_tids
             if tid in values
+            and (plan.tasks[tid].rank is not None or idx == 0)
+        }
+        result_q.put((
+            "done", idx, epoch, out, pid, spans, wait_events, n_run,
+            fault_plan.snapshot() if fault_plan is not None else None,
+        ))
+
+
+def _compiled_worker_loop(
+    idx: int,
+    W: int,
+    plan: Plan,
+    cmd_q: Any,
+    inboxes: list[Any],
+    result_q: Any,
+    leaf_views: dict[int, np.ndarray],
+    fault_plan: Any,
+    pid: int,
+) -> None:
+    """Per-epoch loop over this worker's compiled (bound) stream.
+
+    The stream is compiled and bound exactly once per pool lifetime;
+    each epoch re-runs every step (the plan's per-task ``done`` flags
+    live in the parent -- workers own no retry state) with the epoch's
+    leaves, timeout, and mailbox threaded through a mutable ``state``
+    dict the bound closures read at call time.  Values persist on the
+    (copy-on-write private) ``task.value`` slots; tid order guarantees a
+    consumer's same-worker producers re-ran earlier in the same epoch.
+    """
+    from repro.engine.compile import bind_stream, compile_plan
+
+    cplan = compile_plan(plan, W, replicate_rankless=True)
+    my_inbox = inboxes[idx]
+    state: dict[str, Any] = {
+        "extra": {}, "epoch": 0, "timeout": DEFAULT_TIMEOUT,
+        "mailbox": {}, "waited": [0.0], "wait_events": [],
+    }
+
+    def leaf_fetch(leaf: Task) -> Any:
+        extra = state["extra"]
+        if leaf.tid in extra:
+            return extra[leaf.tid]
+        return leaf_views[leaf.tid]
+
+    def remote_fetch(dep: Task, consumer: Task) -> Any:
+        """Blocking take of a cross-worker value (process rendezvous)."""
+        mailbox = state["mailbox"]
+        if dep.tid in mailbox:
+            return mailbox[dep.tid]
+        epoch = state["epoch"]
+        timeout = state["timeout"]
+        producer = f"t{dep.tid}:{dep.label} (rank {dep.rank})"
+        label = f"t{dep.tid}:{dep.label} rank{dep.rank}->worker{idx}"
+        start = time.perf_counter()
+        deadline = start + timeout
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise RendezvousTimeout(
+                    starvation_message(
+                        label, consumer.rank,
+                        time.perf_counter() - start, producer,
+                        flavor="process", pid=pid,
+                    )
+                )
+            try:
+                msg = my_inbox.get(timeout=remaining)
+            except queue_mod.Empty:
+                continue
+            m_epoch, kind = msg[0], msg[1]
+            if m_epoch != epoch:
+                continue  # stale message from an aborted epoch
+            if kind == "poison":
+                cause = _decode_exc(msg[2])
+                raise RendezvousAborted(
+                    abort_release_message(
+                        label, consumer.rank, producer, cause,
+                        flavor="process", pid=pid,
+                    )
+                ) from cause
+            _, _, tid, value = msg
+            mailbox[tid] = value
+            if tid == dep.tid:
+                elapsed = time.perf_counter() - start
+                state["waited"][0] += elapsed
+                state["wait_events"].append((dep.label, consumer.rank, elapsed))
+                return value
+
+    bound = bind_stream(cplan, idx, leaf_fetch, remote_fetch)
+    my_sends = {
+        tid: tuple(sorted(dests))
+        for tid, dests in cplan.sends.items()
+        if cplan.owner[tid] == idx
+    }
+    my_tids = {bt.task.tid for step in bound for bt in step.tasks}
+    waited = state["waited"]
+
+    while True:
+        cmd = cmd_q.get()
+        if cmd[0] == "stop":
+            break
+        _, epoch, output_tids, telem_on, extra_leaves, timeout = cmd
+        state["extra"] = extra_leaves
+        state["epoch"] = epoch
+        state["timeout"] = timeout
+        state["mailbox"] = {}
+        wait_events: list[tuple] = []
+        state["wait_events"] = wait_events
+        spans: list[tuple] = []
+        n_run = 0
+        current: Task | None = None
+        try:
+            for step in bound:
+                t0 = time.perf_counter() if telem_on else 0.0
+                waited[0] = 0.0
+                for bt in step.tasks:
+                    task = bt.task
+                    current = task
+                    if fault_plan is not None and task.rank is not None:
+                        fault_plan.on_task(task.rank, task.label)
+                    value = bt.fn(*bt.make_args())
+                    task.value = value
+                    n_run += 1
+                    for j in my_sends.get(task.tid, ()):
+                        inboxes[j].put((epoch, "val", task.tid, value))
+                if telem_on:
+                    spans.append((
+                        step.label, step.tid, step.rank,
+                        t0, time.perf_counter() - t0, waited[0],
+                        len(step.tasks),
+                    ))
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            enc = _encode_exc(exc, current)
+            if not isinstance(exc, RendezvousAborted):
+                # First failure poisons the siblings; a release raised
+                # *by* a poison is secondary and must not re-broadcast.
+                for j, box in enumerate(inboxes):
+                    if j != idx:
+                        box.put((epoch, "poison", enc))
+            result_q.put((
+                "fail", idx, epoch, enc, pid,
+                fault_plan.snapshot() if fault_plan is not None else None,
+            ))
+            continue
+
+        out = {
+            tid: plan.tasks[tid].value
+            for tid in output_tids
+            if tid in my_tids
             and (plan.tasks[tid].rank is not None or idx == 0)
         }
         result_q.put((
@@ -408,6 +570,10 @@ class MpEngine:
         self.fault_plan = fault_plan
         self.recovery = recovery
         self.coded_ctx = None
+        #: Run the repro.engine.compile pass in each worker (fused
+        #: chains, pre-resolved args).  Read at ship time: flip it
+        #: before the first execute (Machine and run_many do).
+        self.compile = True
         self._pool: list = []
         self._cmd_qs: list = []
         self._inboxes: list = []
@@ -481,6 +647,7 @@ class MpEngine:
                 args=(
                     idx, W, plan, self._cmd_qs[idx], self._inboxes,
                     self._result_q, self._shm, self.fault_plan,
+                    bool(self.compile),
                 ),
                 name=f"repro-mp-{idx}",
                 daemon=True,
@@ -631,10 +798,11 @@ class MpEngine:
                 plan.tasks[tid].value = value
             if rec.enabled:
                 base = getattr(rec, "epoch", 0.0)
-                for label, tid, rank, t0, dur, wait_s in spans:
+                for label, tid, rank, t0, dur, wait_s, fused_n in spans:
+                    extra = {"fused_n": fused_n} if fused_n > 1 else {}
                     rec.task_span(
                         label, tid, rank, t0 - base, dur, wait_s,
-                        worker=f"pid{pids[idx]}",
+                        worker=f"pid{pids[idx]}", **extra,
                     )
                 for producer_label, consumer, seconds in wait_events:
                     rec.rendezvous_wait(producer_label, consumer, seconds)

@@ -312,6 +312,7 @@ def run_coded_qr(
     backend: str = "parallel",
     workers: int | None = None,
     cost_params=None,
+    compile: bool | None = None,
     **params,
 ) -> CodedRunResult:
     """Run a checksum-protected TSQR / CAQR-1D factorization.
@@ -345,6 +346,7 @@ def run_coded_qr(
         workers=workers,
         fault_plan=fault_plan,
         recovery=policy,
+        compile=compile,
     )
     layout = BlockRowLayout(balanced_sizes(m, P))
     dA = DistMatrix.from_global(machine, A, layout)

@@ -231,7 +231,7 @@ class TelemetryRecorder:
     # ------------------------------------------------------------------
     def task_span(
         self, label: str, tid: int, rank: int | None, t0: float, dur: float,
-        wait_s: float, worker: str | None = None,
+        wait_s: float, worker: str | None = None, **meta: Any,
     ) -> None:
         """An engine task ran: span plus task/wait metrics.
 
@@ -239,11 +239,13 @@ class TelemetryRecorder:
         engine records from inside its pool); the multiprocessing engine
         replays its workers' spans from the parent and passes
         ``"pid<N>"`` so the trace keeps one track per worker process.
+        Extra keyword arguments land in the span's meta (the compiled
+        engines pass ``fused_n`` for fused-chain steps).
         """
         self.span(
             label or f"t{tid}", "task", t0, dur, rank=rank,
             worker=worker if worker is not None else threading.current_thread().name,
-            wait_s=wait_s, tid=tid,
+            wait_s=wait_s, tid=tid, **meta,
         )
         self.metrics.inc("engine.tasks")
         self.metrics.observe("engine.task_s", dur)

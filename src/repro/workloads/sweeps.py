@@ -281,6 +281,7 @@ def run_qr(
     workers: int | None = None,
     fault_plan=None,
     recovery=None,
+    compile: bool | None = None,
     **params,
 ) -> RunResult:
     """Run ``algorithm`` on global array ``A`` over ``P`` simulated processors.
@@ -309,6 +310,10 @@ def run_qr(
     them (see :mod:`repro.faults.policy`); both are forwarded to the
     :class:`~repro.machine.Machine`.  For checksum-protected runs with
     spare ranks, use :func:`repro.faults.run_coded_qr` instead.
+
+    ``compile=False`` disables the :mod:`repro.engine.compile` pass on
+    the engine backends (the ``--no-compile`` A/B baseline); ``None``
+    keeps the engine default (on).
     """
     impl = resolve_backend(backend)
     A = impl.coerce_global(A)
@@ -320,7 +325,7 @@ def run_qr(
     m, n = A.shape
     machine = Machine(
         P, params=cost_params, backend=backend, workers=workers,
-        fault_plan=fault_plan, recovery=recovery,
+        fault_plan=fault_plan, recovery=recovery, compile=compile,
     )
 
     factors, diag_fn, _slicer = drive(algorithm, machine, A, params, validate)

@@ -273,6 +273,31 @@ class TestExporters:
         on_ranks = sum(1 for e in ranked if e["pid"] == 2)
         assert on_workers == on_ranks > 0
 
+    def test_fused_spans_export_and_pass_schema(self, rec, tmp_path):
+        # The compiled engine (default) fuses chains; the trace must
+        # carry their fused_n args under "fused:"-prefixed names and
+        # tools/check_trace.py must accept them.
+        trace = chrome_trace(rec)
+        fused = [e for e in trace["traceEvents"]
+                 if e["ph"] == "X" and "fused_n" in e.get("args", {})]
+        assert fused
+        assert all(e["name"].startswith("fused:") for e in fused)
+        assert all(isinstance(e["args"]["fused_n"], int)
+                   and e["args"]["fused_n"] >= 1 for e in fused)
+
+    def test_check_trace_rejects_malformed_fused_spans(self, tmp_path):
+        check = _load_check_trace()
+        base = {"ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 1}
+        bad = {"traceEvents": [
+            {**base, "name": "fused:a..b", "args": {"fused_n": 0}},
+            {**base, "name": "plain_task", "args": {"fused_n": 3}},
+        ]}
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        problems = check.check(str(path))
+        assert any("fused_n must be a positive integer" in p for p in problems)
+        assert any("does not start with 'fused:'" in p for p in problems)
+
     def test_metrics_dump_round_trips(self, rec):
         dump = metrics_dump(rec)
         assert dump["enabled"] is True
